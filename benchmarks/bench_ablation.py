@@ -1,0 +1,128 @@
+"""E4–E8, E12 — the Section III-D optimization ablations.
+
+Each bench toggles exactly one optimization on a capacity-scaled device
+(same scaling as Table I) and asserts the direction plus a tolerant
+magnitude against the paper's quoted range.
+
+The paper quotes each effect as a *range across graphs* without naming
+which graph gave which end; every ablation here runs on the workload
+whose mini-scale memory regime matches the effect's mechanism (see
+EXPERIMENTS.md "scale distortions" for why one workload per effect):
+
+* unzipping (III-D1) → Barabási–Albert (scattered reads, layout-bound);
+* merge-loop reads (III-D3) → Watts–Strogatz (read-throughput-bound);
+* read-only cache (III-D4) → LiveJournal stand-in (reuse-heavy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (ablation_cpu_preprocess,
+                                     ablation_merge_variant,
+                                     ablation_readonly_cache,
+                                     ablation_sort_u64, ablation_unzip,
+                                     ablation_warp_reduction)
+from repro.bench.runner import scaled_device
+from repro.graphs.datasets import get
+from repro.gpusim.device import GTX_980
+
+
+def _setup(name):
+    w = get(name)
+    g = w.build(seed=0)
+    return g, scaled_device(GTX_980, g, w)
+
+
+@pytest.fixture(scope="module")
+def ba_setup():
+    return _setup("ba")
+
+
+@pytest.fixture(scope="module")
+def ws_setup():
+    return _setup("ws")
+
+
+@pytest.fixture(scope="module")
+def lj_setup():
+    return _setup("livejournal")
+
+
+def _record(benchmark, fn, setup):
+    graph, device = setup
+    result = benchmark.pedantic(lambda: fn(graph, device),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "measured_speedup": round(result.measured_speedup, 3),
+        "paper_range": f"{result.paper_speedup_lo}-{result.paper_speedup_hi}",
+        "section": result.paper_section,
+    })
+    return result
+
+
+def test_unzip(benchmark, ba_setup):
+    """III-D1: SoA layout, paper 13–32% faster kernel."""
+    r = _record(benchmark, ablation_unzip, ba_setup)
+    assert 1.10 < r.measured_speedup < 1.6
+
+
+def test_sort64(benchmark, ba_setup):
+    """III-D2: u64 radix sort, paper ≈5× faster sort step.  At mini
+    scale a comparison sort's log factor is smaller, so the measured
+    ratio compresses toward ~2–4× (documented in EXPERIMENTS.md)."""
+    r = _record(benchmark, ablation_sort_u64, ba_setup)
+    assert r.measured_speedup > 1.8
+
+
+def test_read_saving(benchmark, ws_setup):
+    """III-D3: one-read merge loop, paper 36–48% faster (mini scale
+    overshoots somewhat — the extra loads also thrash the unscaled L1)."""
+    r = _record(benchmark, ablation_merge_variant, ws_setup)
+    assert 1.3 < r.measured_speedup < 3.0
+
+
+def test_ro_cache(benchmark, lj_setup):
+    """III-D4: read-only cache on Maxwell, paper 17–66% faster."""
+    r = _record(benchmark, ablation_readonly_cache, lj_setup)
+    assert 1.17 < r.measured_speedup < 1.8
+
+
+def test_warp_reduction(benchmark, ba_setup):
+    """III-D5: reported only — the paper saw ~30% on an early kernel and
+    no benefit on the final one; we report the measured effect on the
+    preliminary kernel without asserting a direction."""
+    r = _record(benchmark, ablation_warp_reduction, ba_setup)
+    assert 0.5 < r.measured_speedup < 2.0
+
+
+def test_cpu_preprocess(benchmark, ba_setup):
+    """III-D6: the † path trades speed for 2× capacity — slower than the
+    all-GPU pipeline, but only in the preprocessing phase."""
+    r = _record(benchmark, ablation_cpu_preprocess, ba_setup)
+    assert r.measured_speedup > 1.0
+
+
+def test_fallback_doubles_capacity(benchmark, ba_setup):
+    """III-D6's point: a card that OOMs on the direct path finishes via
+    the fallback."""
+    from repro.core.forward_gpu import gpu_count_triangles
+    from repro.core.options import GpuOptions
+    from repro.errors import OutOfDeviceMemoryError
+    from repro.gpusim.device import GTX_980 as GTX
+    from repro.gpusim.memory import DeviceMemory
+
+    graph, _ = ba_setup
+    device = GTX.with_memory(int(graph.num_arcs * 8 * 1.7))
+
+    def run():
+        with pytest.raises(OutOfDeviceMemoryError):
+            gpu_count_triangles(graph, device=device,
+                                memory=DeviceMemory(device),
+                                options=GpuOptions(cpu_preprocess="never"))
+        return gpu_count_triangles(graph, device=device,
+                                   memory=DeviceMemory(device))
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.used_cpu_fallback
+    assert res.triangles > 0

@@ -1,0 +1,79 @@
+"""E13 — baselines and related work (Sections II-A and V).
+
+* Forward beats edge-iterator on skewed graphs (the Section II-A reason
+  for choosing it) and both beat node-iterator;
+* the approximation algorithms trade a few percent of accuracy for
+  their speed/memory (Section V's framing);
+* pytest-benchmark additionally wall-clocks the library's real
+  implementations (generator, CPU counters, matmul) — the numbers a
+  downstream user of this Python library would actually experience.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import baseline_experiment
+from repro.cpu.edge_iterator import edge_iterator_count
+from repro.cpu.forward import forward_count_cpu
+from repro.cpu.matmul import matmul_count
+from repro.cpu.node_iterator import node_iterator_count
+from repro.graphs.datasets import get
+from repro.graphs.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return get("kron17").build(seed=0)
+
+
+def test_baseline_comparison(benchmark, skewed, capsys):
+    result = benchmark.pedantic(lambda: baseline_experiment(skewed),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "forward_ms": round(result.forward_ms, 2),
+        "edge_iterator_ms": round(result.edge_iterator_ms, 2),
+        "node_iterator_ms": round(result.node_iterator_ms, 2),
+        "doulion_error_pct": round(result.doulion_error_pct, 1),
+        "birthday_error_pct": round(result.birthday_error_pct, 1),
+    })
+    with capsys.disabled():
+        print("\n ", result.summary())
+    # Section II-A ordering on a skewed graph.
+    assert result.forward_ms < result.edge_iterator_ms
+    assert result.edge_iterator_ms < result.node_iterator_ms
+    # Section V: approximations land within a few(-ish) percent.
+    assert result.doulion_error_pct < 20.0
+    assert result.birthday_error_pct < 60.0
+
+
+# --------------------------------------------------------------------- #
+# wall-clock benches of the real Python implementations
+# --------------------------------------------------------------------- #
+
+def test_wallclock_forward_cpu(benchmark, skewed):
+    result = benchmark(lambda: forward_count_cpu(skewed).triangles)
+    assert result > 0
+
+
+def test_wallclock_matmul(benchmark, skewed):
+    result = benchmark(lambda: matmul_count(skewed).triangles)
+    assert result > 0
+
+
+def test_wallclock_edge_iterator(benchmark, skewed):
+    result = benchmark(lambda: edge_iterator_count(skewed).triangles)
+    assert result > 0
+
+
+def test_wallclock_rmat_generator(benchmark):
+    g = benchmark(lambda: rmat(12, edge_factor=16, seed=1))
+    assert g.num_edges > 0
+
+
+def test_wallclock_gpu_simulation(benchmark, skewed):
+    """One full simulated-GPU pipeline run (the simulator's own cost)."""
+    from repro.core.forward_gpu import gpu_count_triangles
+    res = benchmark.pedantic(lambda: gpu_count_triangles(skewed),
+                             rounds=1, iterations=1)
+    assert res.triangles > 0

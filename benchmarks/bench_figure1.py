@@ -1,0 +1,55 @@
+"""E3 — regenerate **Figure 1** (runtime vs. size, Kronecker R-MAT).
+
+The four series (CPU, C2050, 4×C2050, GTX 980) come from the same runs
+as the Kronecker Table I rows.  Asserted shape properties (the ones the
+paper's log-log plot carries):
+
+* CPU is the top line everywhere;
+* every series grows monotonically with graph size;
+* the 4-GPU line peels away from the single C2050 as graphs grow
+  (counting dominates more and more).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figures
+from repro.graphs.datasets import kronecker_names
+from conftest import bench_row_names
+
+
+@pytest.fixture(scope="module")
+def kron_rows(row_cache):
+    names = [n for n in kronecker_names() if n in set(bench_row_names())]
+    if len(names) < 3:
+        pytest.skip("figure 1 needs at least three Kronecker rows "
+                    "(REPRO_BENCH_ROWS excludes them)")
+    return [row_cache.get(n) for n in names]
+
+
+def test_figure1_rendered(kron_rows, capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(figures.render_figure1(kron_rows))
+        print(figures.figure1_csv(kron_rows))
+
+
+def test_figure1_shape(check, kron_rows):
+    def body():
+        problems = figures.check_figure1_shape(kron_rows)
+        assert not problems, "\n".join(problems)
+    check(body)
+
+
+def test_runtime_growth_tracks_size(check, kron_rows):
+    """Both series grow by orders of magnitude across the sweep — the
+    log-log lines of the figure have real slope."""
+    def body():
+        first, last = kron_rows[0], kron_rows[-1]
+        size_ratio = last.num_arcs / first.num_arcs
+        assert size_ratio > 8
+        assert last.cpu_ms / first.cpu_ms > size_ratio / 4
+        assert last.gtx980.total_ms / first.gtx980.total_ms > 2
+    check(body)

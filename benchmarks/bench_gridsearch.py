@@ -1,0 +1,79 @@
+"""E9 — the Section III-C launch-configuration grid search.
+
+The paper sweeps threads/block ∈ {32..1024} × blocks/SM ∈ {1..16} and
+finds 64 × 8 (512 threads/SM) optimal or near-optimal on every device,
+with other 512-threads/SM combinations equivalent on the GTX 980 but
+*not* on the older Fermi parts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import grid_search
+from repro.gpusim.device import GTX_980, TESLA_C2050
+
+
+@pytest.fixture(scope="module")
+def gtx_grid(kron_graph):
+    return grid_search(kron_graph, device=GTX_980)
+
+
+def test_grid_search_gtx980(benchmark, kron_graph, gtx_grid, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["best"] = str(gtx_grid.best)
+    with capsys.disabled():
+        print()
+        print(gtx_grid.summary())
+
+
+def test_paper_config_is_near_optimal(check, gtx_grid):
+    """64 × 8 within 10% of the sweep's best point."""
+    def body():
+        (_, _), best_ms = gtx_grid.best
+        assert gtx_grid.paper_config_ms() <= best_ms * 1.10
+    check(body)
+
+
+def test_low_occupancy_is_much_worse(check, gtx_grid):
+    """One 32-thread block per SM cannot hide memory latency."""
+    def body():
+        assert gtx_grid.points[(32, 1)] > 4 * gtx_grid.paper_config_ms()
+    check(body)
+
+
+def test_512_threads_per_sm_equivalence_on_gtx980(check, gtx_grid):
+    """Section III-C: 'on GTX 980 a similar performance can be achieved
+    with other combinations giving 512 threads per multiprocessor'."""
+    def body():
+        ref = gtx_grid.paper_config_ms()
+        for tpb, bps in ((32, 16), (256, 2)):
+            if (tpb, bps) in gtx_grid.points:
+                assert gtx_grid.points[(tpb, bps)] == pytest.approx(
+                    ref, rel=0.15)
+    check(body)
+
+
+def test_c2050_prefers_the_same_config(benchmark, kron_graph):
+    grid = benchmark.pedantic(
+        lambda: grid_search(kron_graph, device=TESLA_C2050,
+                            tpb_values=(32, 64, 256),
+                            bps_values=(1, 2, 8)),
+        rounds=1, iterations=1)
+    (_, _), best_ms = grid.best
+    assert grid.paper_config_ms() <= best_ms * 1.10
+
+
+def test_nvs5200m_prefers_the_same_config(benchmark, kron_graph):
+    """Section III-C: the (64, 8) optimum holds on all three devices,
+    including the little mobile part the kernel was developed on."""
+    from repro.gpusim.device import NVS_5200M
+
+    grid = benchmark.pedantic(
+        lambda: grid_search(kron_graph, device=NVS_5200M,
+                            tpb_values=(32, 64, 256),
+                            bps_values=(1, 2, 8)),
+        rounds=1, iterations=1)
+    (_, _), best_ms = grid.best
+    assert grid.paper_config_ms() <= best_ms * 1.10
+    assert grid.points[(32, 1)] > 2 * grid.paper_config_ms()

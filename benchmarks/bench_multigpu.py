@@ -1,0 +1,79 @@
+"""E11 — Section III-E multi-GPU scaling vs. Amdahl's law.
+
+The paper: preprocessing fractions range 0.08–0.76 across the suite,
+bounding 4-GPU speedups between 3.23× and 1.22×; Kronecker graphs (huge
+triangles-to-edges ratios → counting-dominated) scale best.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import amdahl_experiment
+from repro.graphs.datasets import get
+
+#: Workload → scale multiplier over its mini default.  The Kronecker row
+#: gets 4× so it escapes the fixed-overhead regime (at 20 k arcs its
+#: preprocessing fraction is launch-overhead-inflated, which would mask
+#: the triangle-density effect this experiment is about).
+WORKLOADS = {"internet": 1.0, "kron18": 4.0, "ba": 1.0, "ws": 1.0}
+
+
+@pytest.fixture(scope="module")
+def points():
+    return {}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_amdahl_point(benchmark, points, name, capsys):
+    w = get(name)
+    g = w.build(scale=w.default_scale * WORKLOADS[name], seed=0)
+    point = benchmark.pedantic(lambda: amdahl_experiment(g, name=name),
+                               rounds=1, iterations=1)
+    points[name] = point
+    benchmark.extra_info.update({
+        "preprocessing_fraction": round(point.preprocessing_fraction, 3),
+        "amdahl_limit": round(point.amdahl_limit, 2),
+        "measured": round(point.measured_quad_speedup, 2),
+    })
+    with capsys.disabled():
+        print("\n ", point.summary())
+    # Measured speedup respects the Amdahl envelope (small tolerance for
+    # the broadcast cost shifting between phases).
+    assert point.measured_quad_speedup <= point.amdahl_limit * 1.05
+    # And it's not degenerate: broadcasting cannot make 4 GPUs much
+    # slower than one.
+    assert point.measured_quad_speedup > 0.5
+
+
+def test_kron_beats_ws(check, points):
+    """The paper's Section III-E observation about triangle-rich graphs,
+    asserted between the two exact synthetic generators (the real-graph
+    stand-ins' counting phases are inflated at mini scale — distortion 1
+    in EXPERIMENTS.md — which would turn this into a test of the
+    stand-ins rather than of the Amdahl effect)."""
+    def body():
+        if len(points) < len(WORKLOADS):
+            pytest.skip("per-point benches did not all run")
+        assert (points["kron18"].measured_quad_speedup
+                > points["ws"].measured_quad_speedup)
+        # and the Kronecker row has the lower preprocessing fraction,
+        # which is the paper's stated mechanism
+        assert (points["kron18"].preprocessing_fraction
+                < points["ws"].preprocessing_fraction)
+    check(body)
+
+
+def test_fraction_predicts_speedup(check, points):
+    """Lower preprocessing fraction → higher measured quad speedup
+    (rank agreement between the model's two columns)."""
+    def body():
+        if len(points) < len(WORKLOADS):
+            pytest.skip("per-point benches did not all run")
+        ordered = sorted(points.values(),
+                         key=lambda p: p.preprocessing_fraction)
+        speedups = [p.measured_quad_speedup for p in ordered]
+        # monotone non-increasing within a small tolerance
+        for a, b in zip(speedups, speedups[1:]):
+            assert b <= a + 0.15
+    check(body)

@@ -1,0 +1,66 @@
+"""E14 — Section V related-work comparisons.
+
+Two comparisons with divergent-finding documentation (EXPERIMENTS.md):
+
+* **vs. Green et al. [15]** on the co-paper workloads (the two graphs
+  shared with that paper): our reimplementation of the warp-parallel
+  intersection *strategy*, idealized (free load balancing, charged
+  binning), is measured here.  The paper reports a 2× advantage for its
+  simple kernel; our simulator finds the idealized strategy *faster* —
+  the advantage the paper measured therefore lies in the comparator's
+  system overheads, not the intersection strategy itself.  Asserted:
+  both kernels agree exactly; the ratio is recorded, not direction-
+  asserted.
+* **vs. Leist et al. [13]** on BA and WS (the two graphs shared with
+  that paper): forward wins by a wide margin over the thread-per-vertex
+  wedge-checking lower bound, as published (45×/7× there).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.related import compare_with_green, compare_with_leist
+from repro.bench.runner import scaled_device
+from repro.graphs.datasets import get
+from repro.gpusim.device import GTX_980
+
+
+def _setup(name):
+    w = get(name)
+    g = w.build(seed=0)
+    return g, scaled_device(GTX_980, g, w)
+
+
+@pytest.mark.parametrize("name", ["citeseer", "dblp"])
+def test_green_comparison(benchmark, name, capsys):
+    graph, device = _setup(name)
+    result = benchmark.pedantic(lambda: compare_with_green(graph, device),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "pipeline_ratio": round(result.pipeline_ratio, 3),
+        "kernel_ratio": round(result.kernel_ratio, 3),
+        "paper_claim": "Polak ~2x faster",
+        "finding": "idealized strategy faster in simulation",
+    })
+    with capsys.disabled():
+        print(f"\n  {name}: {result.summary()}")
+    # Exactness is asserted; the time ratio is a documented divergence.
+    assert result.triangles > 0
+    assert 0.1 < result.pipeline_ratio < 10.0
+
+
+@pytest.mark.parametrize("name", ["ba", "ws"])
+def test_leist_comparison(benchmark, name, capsys):
+    graph, device = _setup(name)
+    result = benchmark.pedantic(lambda: compare_with_leist(graph, device),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "advantage": round(result.advantage, 1),
+        "paper_claim": "45x (BA) / 7x (WS)",
+    })
+    with capsys.disabled():
+        print(f"\n  {name}: {result.summary()}")
+    # The paper's direction: forward beats thread-per-vertex wedge
+    # checking by a wide margin on both graphs.
+    assert result.advantage > 5.0

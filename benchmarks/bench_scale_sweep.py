@@ -1,0 +1,64 @@
+"""E16 — scale-convergence sweep: validate the methodology itself.
+
+EXPERIMENTS.md blames every deviation on specific mini-scale
+distortions; if that story is right, the dimensionless observables must
+drift *toward* the paper's values as the workload scale grows.  This
+bench measures one synthetic workload (ws — generator exact at every
+scale) at a 4× scale ladder and asserts exactly that drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sweep import scale_sweep
+from repro.graphs.datasets import get
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    base = get("ws").default_scale
+    return scale_sweep("ws", scales=(base / 4, base / 2, base))
+
+
+def test_sweep_rendered(benchmark, sweep, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    paper = sweep.paper
+    benchmark.extra_info.update({
+        f"scale_{p.scale:.5f}": f"{p.gtx980_speedup:.1f}x / "
+                                f"{p.cache_hit_pct:.1f}%"
+        for p in sweep.points})
+    benchmark.extra_info["paper"] = (f"{paper.gtx980_speedup}x / "
+                                     f"{paper.cache_hit_pct}%")
+    with capsys.disabled():
+        print()
+        print(sweep.summary())
+
+
+def test_speedup_converges_toward_paper(check, sweep):
+    """Growing scale must not drift the GTX speedup *away* from the
+    paper's full-scale value."""
+    def body():
+        assert sweep.converges("gtx980_speedup",
+                               sweep.paper.gtx980_speedup,
+                               tolerance=0.25)
+    check(body)
+
+
+def test_preprocessing_fraction_falls_with_scale(check, sweep):
+    """Fixed launch overheads amortize as graphs grow, so the
+    preprocessing fraction must fall — the distortion-2 story."""
+    def body():
+        fractions = [p.preprocessing_fraction for p in sweep.points]
+        assert fractions[-1] < fractions[0]
+    check(body)
+
+
+def test_work_grows_superlinearly(check, sweep):
+    """O(m√m): quadrupling the graph should more than quadruple arcs'
+    worth of speedup denominator — checked via arc counts only (the
+    generator's density rule)."""
+    def body():
+        arcs = [p.num_arcs for p in sweep.points]
+        assert arcs[-1] > 3.0 * arcs[0]
+    check(body)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the paper-reproduction benches.
+
+``table1_rows`` runs each Table I workload once per session (CPU +
+C2050 + 4×C2050 + GTX 980) and caches the result — Table I, Table II and
+Figure 1 all read from the same cache, like in the paper.
+
+Environment knobs:
+
+* ``REPRO_SCALE``   — global workload-size multiplier (default 1.0);
+* ``REPRO_BENCH_ROWS`` — comma-separated workload names to restrict the
+  Table I sweep (default: all 13).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import RowResult, run_workload
+from repro.graphs.datasets import WORKLOADS, get
+
+
+def bench_row_names() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_ROWS", "")
+    if not raw:
+        return list(WORKLOADS)
+    names = [n.strip() for n in raw.split(",") if n.strip()]
+    for n in names:
+        get(n)  # validate
+    return names
+
+
+class _RowCache:
+    def __init__(self):
+        self._rows: dict[str, RowResult] = {}
+
+    def get(self, name: str) -> RowResult:
+        if name not in self._rows:
+            self._rows[name] = run_workload(name)
+        return self._rows[name]
+
+    def all(self) -> list[RowResult]:
+        return [self.get(n) for n in bench_row_names()]
+
+
+@pytest.fixture(scope="session")
+def row_cache() -> _RowCache:
+    return _RowCache()
+
+
+@pytest.fixture
+def check(benchmark):
+    """Run an assertion body under the benchmark fixture so the test
+    still executes with ``--benchmark-only`` (which skips tests that
+    never touch ``benchmark``)."""
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+    return run
+
+
+@pytest.fixture(scope="session")
+def ba_graph():
+    """The memory-bound ablation workload (worst cache behaviour in
+    Table II, so every Section III-D effect is visible)."""
+    return get("ba").build(seed=0)
+
+
+@pytest.fixture(scope="session")
+def kron_graph():
+    """A mid-size Kronecker graph for the cheaper experiments."""
+    return get("kron18").build(seed=0)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Figure-1-style scaling study on Kronecker R-MAT graphs.
+
+Sweeps the R-MAT scale, counts on the CPU baseline and two simulated
+GPUs, and prints the log-log series the paper plots in Figure 1 — plus
+the per-scale speedups, so the "15 to 35 times" headline can be watched
+developing as graphs grow.
+
+Run:  python examples/kronecker_scaling.py [max_scale]
+"""
+
+import sys
+
+import repro
+
+
+def main(max_scale: int = 12) -> None:
+    print(f"{'scale':>5} {'nodes':>7} {'arcs':>9} {'triangles':>11} "
+          f"{'CPU ms':>9} {'C2050 ms':>9} {'GTX980 ms':>9} "
+          f"{'C2050 x':>8} {'GTX x':>7}")
+    for scale in range(8, max_scale + 1):
+        graph = repro.generators.rmat(scale, edge_factor=16, seed=1)
+        cpu = repro.forward_count_cpu(graph)
+        tesla = repro.gpu_count_triangles(graph, device=repro.TESLA_C2050)
+        gtx = repro.gpu_count_triangles(graph, device=repro.GTX_980)
+        assert cpu.triangles == tesla.triangles == gtx.triangles
+        print(f"{scale:>5} {graph.num_nodes:>7} {graph.num_arcs:>9} "
+              f"{cpu.triangles:>11,} {cpu.elapsed_ms:>9.2f} "
+              f"{tesla.total_ms:>9.3f} {gtx.total_ms:>9.3f} "
+              f"{cpu.elapsed_ms / tesla.total_ms:>8.1f} "
+              f"{cpu.elapsed_ms / gtx.total_ms:>7.1f}")
+    print("\nNote how the GPU advantage grows with size: small graphs are "
+          "launch-overhead bound\n(the paper's graphs are 20M-230M arcs, "
+          "where the advantage saturates at 8-35x).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

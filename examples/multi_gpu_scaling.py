@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling and Amdahl's law (paper Section III-E).
+
+Counts one triangle-rich graph and one triangle-poor graph on 1, 2 and
+4 simulated Tesla C2050s, showing how the serial preprocessing phase
+caps the multi-GPU speedup — and why the paper's best quad results come
+from Kronecker graphs ("large triangles to edges ratios").
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+import repro
+
+
+def study(name: str) -> None:
+    graph = repro.datasets.get(name).build(seed=3)
+    single = repro.gpu_count_triangles(graph, device=repro.TESLA_C2050)
+    f = single.timeline.preprocessing_fraction
+    print(f"\n{name}: {graph.num_arcs:,} arcs, "
+          f"{single.triangles:,} triangles "
+          f"(triangles/arcs = {single.triangles / graph.num_arcs:.2f})")
+    print(f"  preprocessing fraction on one GPU: {f:.2f}")
+    print(f"  {'GPUs':>5} {'total ms':>10} {'speedup':>8} {'Amdahl max':>11}")
+    print(f"  {1:>5} {single.total_ms:>10.3f} {'1.00':>8} {'1.00':>11}")
+    for n in (2, 4):
+        multi = repro.multi_gpu_count_triangles(graph,
+                                                device=repro.TESLA_C2050,
+                                                num_gpus=n)
+        assert multi.triangles == single.triangles
+        speedup = single.total_ms / multi.total_ms
+        amdahl = 1.0 / (f + (1.0 - f) / n)
+        print(f"  {n:>5} {multi.total_ms:>10.3f} {speedup:>8.2f} "
+              f"{amdahl:>11.2f}")
+
+
+def main() -> None:
+    print("Multi-GPU scaling under Amdahl's law (Section III-E)")
+    study("kron18")   # triangle-rich: counting dominates, scales well
+    study("ws")       # modest ratio: preprocessing caps the speedup
+    print("\nThe Kronecker graph's counting phase dominates, so splitting "
+          "it over 4 GPUs pays;\nthe Watts-Strogatz graph spends its time "
+          "in the serial preprocessing instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""``repro-bench`` — regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-bench table1                  # all 13 rows, all devices
+    repro-bench table1 -w ba -w ws      # selected rows
+    repro-bench table2                  # GTX 980 profiling columns
+    repro-bench figure1                 # Kronecker scaling plot (ASCII)
+    repro-bench ablations               # Section III-D effects
+    repro-bench gridsearch              # Section III-C launch sweep
+    repro-bench inputformat multigpu baselines related
+    repro-bench profile -w orkut       # nvprof-style kernel metrics
+    repro-bench all --csv out_dir       # everything + CSV dumps
+
+``REPRO_SCALE`` scales every workload (default mini scale; see DESIGN §6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.bench import calibration, figures, tables
+from repro.bench.experiments import (amdahl_experiment, baseline_experiment,
+                                     grid_search, input_format_experiment,
+                                     run_all_ablations)
+from repro.bench.runner import run_table1
+from repro.graphs.datasets import WORKLOADS, get, kronecker_names
+
+_COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
+             "inputformat", "multigpu", "baselines", "related", "profile",
+             "sweep", "all")
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("commands", nargs="+", choices=_COMMANDS,
+                   help="which experiment(s) to run")
+    p.add_argument("-w", "--workload", action="append", dest="workloads",
+                   choices=list(WORKLOADS),
+                   help="restrict table1/table2 to specific rows")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--csv", metavar="DIR",
+                   help="also write machine-readable CSVs into DIR")
+    p.add_argument("--no-quad", action="store_true",
+                   help="skip the 4-GPU configuration (faster)")
+    return p
+
+
+def _write(csv_dir: str | None, filename: str, content: str) -> None:
+    if not csv_dir:
+        return
+    os.makedirs(csv_dir, exist_ok=True)
+    path = os.path.join(csv_dir, filename)
+    with open(path, "w") as fh:
+        fh.write(content)
+    print(f"  wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    commands = set(args.commands)
+    if "all" in commands:
+        commands = set(_COMMANDS) - {"all"}
+    configs = ("c2050", "gtx980") if args.no_quad else ("c2050", "quad",
+                                                        "gtx980")
+
+    rows = None
+    if commands & {"table1", "table2", "figure1"}:
+        names = args.workloads or list(WORKLOADS)
+        if "figure1" in commands:
+            names = list(dict.fromkeys(names + kronecker_names()))
+        rows = run_table1(names, seed=args.seed, configs=configs)
+
+    if "table1" in commands:
+        print("\n=== TABLE I — experimental results (paper vs measured) ===")
+        print(tables.render_table1(rows))
+        problems = [p for r in rows for p in calibration.check_row(r)]
+        problems += calibration.check_daggers(rows)
+        for p in problems:
+            print("  band-check:", p)
+        if not problems:
+            print("  all band checks passed")
+        _write(args.csv, "table1.csv", tables.table1_csv(rows))
+
+    if "table2" in commands:
+        print("\n=== TABLE II — GTX 980 profiling (paper vs measured) ===")
+        print(tables.render_table2(rows))
+
+    if "figure1" in commands:
+        kron_rows = [r for r in rows
+                     if r.workload.name in set(kronecker_names())]
+        print("\n=== FIGURE 1 — Kronecker scaling ===")
+        print(figures.render_figure1(kron_rows))
+        for p in figures.check_figure1_shape(kron_rows):
+            print("  shape-check:", p)
+        _write(args.csv, "figure1.csv", figures.figure1_csv(kron_rows))
+
+    if "ablations" in commands:
+        print("\n=== Section III-D ablations ===")
+        print("  (each on its designated workload, capacity-scaled device —"
+              " see EXPERIMENTS.md)")
+        for result in run_all_ablations(seed=args.seed):
+            print(" ", result.summary())
+
+    if "gridsearch" in commands:
+        print("\n=== Section III-C launch grid search ===")
+        g = get("kron17").build(seed=args.seed)
+        print(grid_search(g).summary())
+
+    if "inputformat" in commands:
+        print("\n=== Section III-A input format ===")
+        g = get("livejournal").build(seed=args.seed)
+        print(" ", input_format_experiment(g).summary())
+
+    if "multigpu" in commands:
+        print("\n=== Section III-E multi-GPU Amdahl ===")
+        for name in ("internet", "kron18", "ba", "ws"):
+            g = get(name).build(seed=args.seed)
+            print(" ", amdahl_experiment(g, name=name).summary())
+
+    if "related" in commands:
+        from repro.bench.related import compare_with_green, compare_with_leist
+        from repro.bench.runner import scaled_device
+        from repro.gpusim.device import GTX_980
+        print("\n=== Section V related work ===")
+        for name in ("citeseer", "dblp"):
+            w = get(name)
+            g = w.build(seed=args.seed)
+            r = compare_with_green(g, scaled_device(GTX_980, g, w))
+            print(f"  vs Green [15] on {name}: {r.summary()}")
+        for name in ("ba", "ws"):
+            w = get(name)
+            g = w.build(seed=args.seed)
+            r = compare_with_leist(g, scaled_device(GTX_980, g, w))
+            print(f"  vs Leist [13] on {name}: {r.summary()}")
+
+    if "sweep" in commands:
+        from repro.bench.sweep import scale_sweep
+        print("\n=== scale-convergence sweep (E16) ===")
+        for name in (args.workloads or ["ws"]):
+            print(scale_sweep(name, seed=args.seed).summary())
+
+    if "profile" in commands:
+        from repro.bench.runner import scaled_device
+        from repro.gpusim.device import GTX_980
+        print("\n=== nvprof-style kernel profile ===")
+        for name in (args.workloads or ["livejournal"]):
+            w = get(name)
+            g = w.build(seed=args.seed)
+            dev = scaled_device(GTX_980, g, w)
+            from repro.core.forward_gpu import gpu_count_triangles
+            from repro.gpusim.memory import DeviceMemory
+            run = gpu_count_triangles(g, device=dev,
+                                      memory=DeviceMemory(dev))
+            print(run.profile())
+
+    if "baselines" in commands:
+        print("\n=== Sections II-A / V baselines & approximations ===")
+        g = get("kron17").build(seed=args.seed)
+        print(" ", baseline_experiment(g, seed=args.seed).summary())
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""The ``CountTriangles`` kernel (paper Section III-C) as a SIMT kernel.
+
+Execution is warp-synchronous, mirroring the hardware semantics of the
+paper's CUDA listing:
+
+* each lane owns the arcs ``i ≡ lane (mod total_threads)`` (the
+  grid-stride loop);
+* one *setup* block per arc loads the arc's endpoints, four node-array
+  entries and the two initial adjacency values (the kernel's
+  ``int a = edge[u_it], b = edge[v_it];`` — note these loads are issued
+  even when a list is empty, exactly as compiled);
+* then *merge* iterations run until **every** lane of the warp has
+  exhausted its intersection — lanes that finish early sit masked-out
+  (that is the divergence the Section III-D5 warp-size trick reduces);
+* the loop body comes in the paper's two variants (Section III-D3):
+  ``final`` re-reads only the pointer(s) that advanced, ``preliminary``
+  reads both list heads every iteration.
+
+All adjacency walks read the *first* (adjacency-content) column through
+the engine's cache hierarchy; this kernel is the entire source of the
+Table II counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.options import GpuOptions
+from repro.core.preprocess import PreprocessResult
+from repro.errors import ReproError
+from repro.gpusim.memory import DeviceBuffer
+from repro.gpusim.simt import SimtEngine
+from repro.gpusim.timing import MERGE_INSTRUCTIONS, SETUP_INSTRUCTIONS
+
+_LOAD, _MERGE, _DONE = 0, 1, 2
+
+
+@dataclass
+class CountKernelResult:
+    """Outcome of one kernel launch.
+
+    ``thread_counts`` is the per-thread ``result`` array the paper
+    reduces with ``thrust::reduce``; ``triangles`` its sum.
+    """
+
+    thread_counts: np.ndarray
+    triangles: int
+    ticks: int
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.thread_counts)
+
+
+def count_triangles_kernel(engine: SimtEngine,
+                           pre: PreprocessResult,
+                           options: GpuOptions = GpuOptions(),
+                           lo: int = 0,
+                           hi: int | None = None,
+                           result_buf: DeviceBuffer | None = None,
+                           per_vertex_buf: DeviceBuffer | None = None,
+                           ) -> CountKernelResult:
+    """Execute ``CountTriangles`` over arcs ``[lo, hi)`` on ``engine``.
+
+    ``result_buf``, when given, receives the per-thread counts through a
+    modelled device write (length must be ``engine.num_threads``).
+
+    ``per_vertex_buf``, when given (length ``num_nodes``), receives one
+    ``atomicAdd`` per triangle corner — the local-triangle extension the
+    clustering-coefficient application needs (every match at edge
+    ``(u, v)`` with common neighbor ``w`` increments all three).
+    """
+    m = pre.num_forward_arcs
+    hi = m if hi is None else hi
+    if not (0 <= lo <= hi <= m):
+        raise ReproError(f"arc range [{lo}, {hi}) outside [0, {m})")
+
+    unzipped = pre.aos is None
+    if unzipped:
+        adj, keys = pre.adj, pre.keys
+    else:
+        adj = keys = pre.aos
+    node = pre.node
+    final_variant = options.merge_variant == "final"
+
+    T = engine.num_threads
+    ws = engine.warp_size
+    W = engine.num_warps
+    tid = np.arange(T, dtype=np.int64)
+    warp_of = tid // ws
+
+    # Per-lane registers.
+    cur = lo + tid.copy()
+    u_it = np.zeros(T, np.int64)
+    u_end = np.zeros(T, np.int64)
+    v_it = np.zeros(T, np.int64)
+    v_end = np.zeros(T, np.int64)
+    a = np.zeros(T, np.int64)
+    b = np.zeros(T, np.int64)
+    count = np.zeros(T, np.uint64)
+    merge_active = np.zeros(T, bool)
+    track_corners = per_vertex_buf is not None
+    if track_corners:
+        lane_u = np.zeros(T, np.int64)
+        lane_v = np.zeros(T, np.int64)
+
+    warp_phase = np.full(W, _LOAD, np.int8)
+    ticks = 0
+
+    def _adj_read(indices: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+        """Adjacency-content read: ``edge[idx]`` (stride-2 in AoS mode)."""
+        if unzipped:
+            return engine.read(adj, indices, lanes)
+        return engine.read(adj, 2 * indices, lanes)
+
+    while (warp_phase != _DONE).any():
+        ticks += 1
+
+        # ---------------- setup (the for-loop body head) ---------------- #
+        load_w = warp_phase == _LOAD
+        if load_w.any():
+            in_load = load_w[warp_of]
+            has_edge = in_load & (cur < hi)
+            lanes = tid[has_edge]
+            if len(lanes):
+                e = cur[lanes]
+                if unzipped:
+                    u = engine.read(adj, e, lanes)        # edge[i]
+                    v = engine.read(keys, e, lanes)       # edge[m + i]
+                else:
+                    u = engine.read(adj, 2 * e, lanes)
+                    v = engine.read(keys, 2 * e + 1, lanes)
+                u = u.astype(np.int64)
+                v = v.astype(np.int64)
+                # The four node-array loads issue back to back; batching
+                # them into one engine call keeps the same cache
+                # behaviour (same-line repeats are hits either way).
+                k = len(lanes)
+                node_idx = np.concatenate([u, u + 1, v, v + 1])
+                node_lanes = np.concatenate([lanes, lanes, lanes, lanes])
+                nvals = engine.read(node, node_idx, node_lanes).astype(np.int64)
+                nu, nu1, nv, nv1 = (nvals[:k], nvals[k:2 * k],
+                                    nvals[2 * k:3 * k], nvals[3 * k:])
+                u_it[lanes] = nu
+                u_end[lanes] = nu1
+                v_it[lanes] = nv
+                v_end[lanes] = nv1
+                if track_corners:
+                    lane_u[lanes] = u
+                    lane_v[lanes] = v
+                # Unconditional initial loads, as in the listing.
+                ab = _adj_read(np.concatenate([nu, nv]),
+                               np.concatenate([lanes, lanes]))
+                a[lanes] = ab[:k]
+                b[lanes] = ab[k:]
+                merge_active[lanes] = (nu < nu1) & (nv < nv1)
+                engine.end_step("setup", lanes, SETUP_INSTRUCTIONS)
+            # Warp transitions: lanes without a current arc idle through
+            # the merge (masked); warps with no arcs at all are done.
+            had = has_edge.reshape(W, ws).any(axis=1)
+            warp_phase[load_w & had] = _MERGE
+            warp_phase[load_w & ~had] = _DONE
+
+        # ---------------- merge (the while loop) ------------------------ #
+        merge_w = warp_phase == _MERGE
+        if merge_w.any():
+            act = merge_active & merge_w[warp_of]
+            lanes = tid[act]
+            if len(lanes):
+                if not final_variant:
+                    # Preliminary variant: both list heads re-read every
+                    # iteration (two loads per active lane).
+                    ab = _adj_read(np.concatenate([u_it[lanes], v_it[lanes]]),
+                                   np.concatenate([lanes, lanes]))
+                    a[lanes] = ab[:len(lanes)]
+                    b[lanes] = ab[len(lanes):]
+                d = a[lanes] - b[lanes]
+                count[lanes] += (d == 0).astype(np.uint64)
+                if track_corners and (d == 0).any():
+                    matched = lanes[d == 0]
+                    # Three atomicAdds per triangle: u, v, and the
+                    # common neighbor (the matched value).
+                    corners = np.concatenate([lane_u[matched],
+                                              lane_v[matched],
+                                              a[matched]])
+                    engine.atomic_add(per_vertex_buf, corners,
+                                      np.ones(len(corners), np.int64),
+                                      np.concatenate([matched] * 3))
+                adv_u = lanes[d <= 0]
+                adv_v = lanes[d >= 0]
+                u_it[adv_u] += 1
+                v_it[adv_v] += 1
+                if final_variant:
+                    # Final variant: read only what advanced — one load
+                    # per iteration unless a triangle was found.  These
+                    # loads land one past the end when a list is
+                    # exhausted; the adjacency buffer carries a pad slot
+                    # for exactly this (Section III-D3).
+                    vals = _adj_read(
+                        np.concatenate([u_it[adv_u], v_it[adv_v]]),
+                        np.concatenate([adv_u, adv_v]))
+                    a[adv_u] = vals[:len(adv_u)]
+                    b[adv_v] = vals[len(adv_u):]
+                merge_active[lanes] = ((u_it[lanes] < u_end[lanes]) &
+                                       (v_it[lanes] < v_end[lanes]))
+                engine.end_step("merge", lanes, MERGE_INSTRUCTIONS)
+
+            # Warps whose lanes have all finished reconverge at the end of
+            # the for-loop body: advance to the next grid-stride arc.
+            still = (merge_active & merge_w[warp_of]).reshape(W, ws).any(axis=1)
+            finished_w = merge_w & ~still
+            if finished_w.any():
+                fin_lanes = finished_w[warp_of]
+                cur[fin_lanes] += T
+                warp_phase[finished_w] = _LOAD
+
+    triangles = int(count.sum())
+    if result_buf is not None:
+        engine.write(result_buf, tid, count, tid)
+    return CountKernelResult(thread_counts=count, triangles=triangles,
+                             ticks=ticks)

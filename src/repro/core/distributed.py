@@ -1,0 +1,161 @@
+"""Distributed partitioned counting: both Section VI directions at once.
+
+The paper closes with two wishes: (1) split the graph into subgraphs
+that can be processed independently — enabling both *better multi-GPU
+scaling* and *graphs that do not fit GPU memory*; this module delivers
+exactly that by combining the vertex-partition scheme of
+:mod:`repro.core.partitioned` with the multi-device substrate:
+
+1. hash vertices into ``num_parts`` buckets;
+2. form one induced-subgraph counting *job* per part subset Q (|Q| ≤ 3)
+   with a non-zero inclusion–exclusion weight
+   ``w(Q) = Σ_{s=|Q|}^{3} (−1)^{s−|Q|} · C(p−|Q|, s−|Q|)``;
+3. schedule jobs across the GPUs greedily (longest processing time
+   first, estimated by subgraph arc count);
+4. each device runs its jobs *independently* — its own preprocessing,
+   its own kernel, no cross-device traffic at all (the property the
+   paper hoped splitting would buy);
+5. the exact total is ``Σ w(Q) · count(Q)``.
+
+Unlike Section III-E's scheme there is no serial preprocessing bottleneck
+— every job preprocesses on its own device — so Amdahl's cap disappears,
+at the price of redundant arc-visits across overlapping subsets (the
+trade-off the paper was unsure about; the result object reports it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.core.forward_gpu import gpu_count_triangles
+from repro.core.options import GpuOptions
+from repro.errors import ReproError
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim.device import DeviceSpec, TESLA_C2050
+from repro.gpusim.device import XEON_X5650
+from repro.gpusim.memory import DeviceMemory
+
+
+def subset_weight(subset_size: int, num_parts: int) -> int:
+    """Inclusion–exclusion weight of an induced subgraph over
+    ``subset_size`` parts (see module docstring)."""
+    return sum((-1) ** (s - subset_size)
+               * comb(num_parts - subset_size, s - subset_size)
+               for s in range(subset_size, min(3, num_parts) + 1))
+
+
+@dataclass
+class DistributedJob:
+    """One induced-subgraph counting job."""
+
+    parts: tuple[int, ...]
+    weight: int
+    num_arcs: int
+    device_index: int = -1
+    count: int = 0
+    elapsed_ms: float = 0.0
+
+
+@dataclass
+class DistributedResult:
+    triangles: int
+    num_parts: int
+    num_gpus: int
+    jobs: list[DistributedJob] = field(default_factory=list)
+    #: simulated time of the busiest device (the run's makespan).
+    makespan_ms: float = 0.0
+    per_device_ms: list[float] = field(default_factory=list)
+    partition_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.partition_ms + self.makespan_ms
+
+    @property
+    def largest_subgraph_arcs(self) -> int:
+        return max((j.num_arcs for j in self.jobs), default=0)
+
+    @property
+    def redundant_arc_work(self) -> int:
+        return sum(j.num_arcs for j in self.jobs)
+
+    @property
+    def load_balance(self) -> float:
+        """Mean device busy time over the makespan (1.0 = perfect)."""
+        if not self.per_device_ms or self.makespan_ms == 0:
+            return 0.0
+        return float(np.mean(self.per_device_ms)) / self.makespan_ms
+
+
+def distributed_count_triangles(graph: EdgeArray,
+                                device: DeviceSpec = TESLA_C2050,
+                                num_gpus: int = 4,
+                                num_parts: int = 6,
+                                options: GpuOptions = GpuOptions(),
+                                seed: int = 0) -> DistributedResult:
+    """Count triangles exactly with independent per-device subgraph jobs.
+
+    Parameters
+    ----------
+    num_parts : int
+        Vertex buckets p; jobs are the ≤3-subsets with non-zero weight,
+        so more parts mean smaller subgraphs but more redundancy
+        (O(p³) jobs).
+    """
+    if num_gpus < 1:
+        raise ReproError(f"need >= 1 GPU, got {num_gpus}")
+    if num_parts < 1:
+        raise ReproError(f"need >= 1 part, got {num_parts}")
+
+    rng = np.random.default_rng(seed)
+    part_of = rng.integers(0, num_parts, size=max(graph.num_nodes, 1))
+    pf = part_of[graph.first] if graph.num_arcs else np.zeros(0, np.int64)
+    ps = part_of[graph.second] if graph.num_arcs else np.zeros(0, np.int64)
+    # Host-side partition pass: label both endpoints, one pass each.
+    partition_ms = 2 * graph.num_arcs * XEON_X5650.ns_per_pass_element * 1e-6
+
+    # Build the job list (skip zero-weight subsets entirely).
+    jobs: list[DistributedJob] = []
+    masks: dict[tuple[int, ...], np.ndarray] = {}
+    for size in range(1, min(3, num_parts) + 1):
+        weight = subset_weight(size, num_parts)
+        if weight == 0:
+            continue
+        for parts in combinations(range(num_parts), size):
+            mask = np.isin(pf, parts) & np.isin(ps, parts)
+            arcs = int(mask.sum())
+            masks[parts] = mask
+            jobs.append(DistributedJob(parts=parts, weight=weight,
+                                       num_arcs=arcs))
+
+    # LPT scheduling: biggest job to the least-loaded device.
+    loads = [0.0] * num_gpus
+    for job in sorted(jobs, key=lambda j: -j.num_arcs):
+        dev = int(np.argmin(loads))
+        job.device_index = dev
+        loads[dev] += job.num_arcs  # provisional, refined by real times
+
+    # Execute per device (independent memories; jobs run back to back).
+    per_device_ms = [0.0] * num_gpus
+    total = 0
+    for job in jobs:
+        sub = EdgeArray(graph.first[masks[job.parts]],
+                        graph.second[masks[job.parts]],
+                        num_nodes=graph.num_nodes, check=False)
+        run = gpu_count_triangles(sub, device=device,
+                                  memory=DeviceMemory(device),
+                                  options=options)
+        job.count = run.triangles
+        job.elapsed_ms = run.total_ms
+        per_device_ms[job.device_index] += run.total_ms
+        total += job.weight * run.triangles
+
+    return DistributedResult(triangles=total, num_parts=num_parts,
+                             num_gpus=num_gpus, jobs=jobs,
+                             makespan_ms=max(per_device_ms, default=0.0),
+                             per_device_ms=per_device_ms,
+                             partition_ms=partition_ms)

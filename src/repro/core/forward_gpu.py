@@ -1,0 +1,141 @@
+"""Single-GPU end-to-end triangle counting (the paper's main pipeline).
+
+Timing follows the paper's measurement protocol (Section IV): the window
+opens just before the edge array is copied host→device and closes after
+the final count is copied back and device memory is freed — context
+initialization excluded (the paper pre-initializes with
+``cudaFree(NULL)``; the simulator has no lazy context to begin with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.count_kernel import count_triangles_kernel
+from repro.core.options import GpuOptions
+from repro.core.preprocess import preprocess
+from repro.errors import ReproError
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim import thrustlike
+from repro.gpusim.device import DeviceSpec, GTX_980
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.simt import KernelReport, SimtEngine
+from repro.gpusim.timing import (KernelTiming, Timeline,
+                                 achieved_bandwidth_gbs, time_kernel)
+from repro.types import COUNT_DTYPE, TriangleCount
+
+
+@dataclass
+class GpuRunResult:
+    """Full record of one simulated GPU counting run.
+
+    The fields line up with what the paper reports: ``total_ms`` is a
+    Table I cell, ``cache_hit_rate``/``bandwidth_gbs`` a Table II row,
+    ``used_cpu_fallback`` the ``†`` marker, and
+    ``timeline.preprocessing_fraction`` the Section III-E Amdahl input.
+    """
+
+    triangles: int
+    device: DeviceSpec
+    options: GpuOptions
+    timeline: Timeline
+    kernel_report: KernelReport
+    kernel_timing: KernelTiming
+    used_cpu_fallback: bool
+    num_forward_arcs: int
+    #: Populated by the multi-GPU pipeline: one (report, timing) per card.
+    per_device: list = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms
+
+    @property
+    def count_ms(self) -> float:
+        return self.timeline.phase_ms("count")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Read-only-cache hit fraction during the counting kernel."""
+        return self.kernel_report.l1_hit_rate
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """DRAM throughput the counting kernel sustained (Table II)."""
+        return achieved_bandwidth_gbs(self.kernel_report,
+                                      self.kernel_timing.kernel_ms)
+
+    def profile(self) -> str:
+        """nvprof-style report of this run (timeline + kernel metrics)."""
+        from repro.gpusim.profiler import format_run_profile
+
+        return format_run_profile(self)
+
+    def as_triangle_count(self) -> TriangleCount:
+        return TriangleCount(triangles=self.triangles,
+                             elapsed_ms=self.total_ms,
+                             breakdown=self.timeline.breakdown())
+
+
+def gpu_count_triangles(graph: EdgeArray,
+                        device: DeviceSpec = GTX_980,
+                        options: GpuOptions = GpuOptions(),
+                        memory: DeviceMemory | None = None) -> GpuRunResult:
+    """Count triangles in ``graph`` on one simulated ``device``.
+
+    Parameters
+    ----------
+    graph : EdgeArray
+        Input in the paper's format (each edge as two arcs).
+    device : DeviceSpec
+        Simulated card (default: the GTX 980, the paper's fastest).
+    options : GpuOptions
+        Optimization toggles; defaults are the paper's final settings.
+    memory : DeviceMemory, optional
+        Pre-built device memory — the bench harness passes one with
+        scaled capacity to reproduce the ``†`` memory-pressure behaviour
+        at reduced workload scale.
+    """
+    if memory is None:
+        memory = DeviceMemory(device)
+    elif memory.spec.name != device.name:
+        raise ReproError(
+            f"memory belongs to {memory.spec.name!r}, not {device.name!r}")
+
+    timeline = Timeline()
+    engine = SimtEngine(device, options.launch,
+                        use_ro_cache=options.use_readonly_cache)
+    # The per-thread result array lives for the whole run; allocating it
+    # up front makes it part of the footprint the Section III-D6 fallback
+    # logic sees (otherwise preprocessing could "fit" and the run still
+    # die at the kernel launch).
+    result_buf = memory.alloc_empty("result", engine.num_threads, COUNT_DTYPE)
+    pre = preprocess(graph, device, memory, timeline, options)
+    if options.kernel == "warp_intersect":
+        from repro.core.warp_intersect_kernel import warp_intersect_kernel
+
+        kres = warp_intersect_kernel(engine, pre, result_buf=result_buf)
+        kernel_name = "WarpIntersect"
+    else:
+        kres = count_triangles_kernel(engine, pre, options,
+                                      result_buf=result_buf)
+        kernel_name = "CountTriangles"
+
+    timing = time_kernel(engine.report)
+    timeline.add(kernel_name, timing.kernel_ms, phase="count")
+
+    total = thrustlike.reduce_sum(device, result_buf, timeline, phase="reduce")
+    if total != kres.triangles:
+        raise ReproError("device reduce disagrees with kernel counts "
+                         f"({total} vs {kres.triangles})")
+    timeline.add("d2h result", memory.d2h_ms(np.dtype(COUNT_DTYPE).itemsize),
+                 phase="reduce")
+    memory.free_all()
+
+    return GpuRunResult(triangles=total, device=device, options=options,
+                        timeline=timeline, kernel_report=engine.report,
+                        kernel_timing=timing,
+                        used_cpu_fallback=pre.used_cpu_fallback,
+                        num_forward_arcs=pre.num_forward_arcs)

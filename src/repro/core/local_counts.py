@@ -1,0 +1,94 @@
+"""Per-vertex triangle counts and clustering coefficients on the GPU.
+
+The comparison target in Section V (Leist et al. [13]) computes
+*clustering coefficients*, which need the number of triangles **through
+each vertex**, not just the total.  The paper notes its counting
+algorithm gives "at most two times advantage" to account for that; this
+module closes the gap properly — the forward kernel extended with one
+``atomicAdd`` per triangle corner produces exact local counts in a
+single pass, and the coefficients follow from the degree sequence the
+preprocessing already computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.count_kernel import count_triangles_kernel
+from repro.core.options import GpuOptions
+from repro.core.preprocess import preprocess
+from repro.errors import ReproError
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim import thrustlike
+from repro.gpusim.device import DeviceSpec, GTX_980
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.simt import SimtEngine
+from repro.gpusim.timing import Timeline, time_kernel
+from repro.types import COUNT_DTYPE
+
+
+@dataclass
+class LocalCountResult:
+    """Per-vertex triangle counts plus the derived coefficients."""
+
+    local_triangles: np.ndarray      # int64, length num_nodes
+    triangles: int                   # global total (= sum / 3)
+    local_clustering: np.ndarray     # float64, length num_nodes
+    average_clustering: float
+    transitivity: float
+    total_ms: float
+
+
+def gpu_local_counts(graph: EdgeArray,
+                     device: DeviceSpec = GTX_980,
+                     options: GpuOptions = GpuOptions(),
+                     memory: DeviceMemory | None = None) -> LocalCountResult:
+    """Count triangles through every vertex on one simulated device.
+
+    Same pipeline as :func:`repro.core.forward_gpu.gpu_count_triangles`
+    plus a ``num_nodes``-long accumulator the kernel atomically updates
+    on every match.
+    """
+    if memory is None:
+        memory = DeviceMemory(device)
+    timeline = Timeline()
+    engine = SimtEngine(device, options.launch,
+                        use_ro_cache=options.use_readonly_cache)
+    result_buf = memory.alloc_empty("result", engine.num_threads, COUNT_DTYPE)
+    per_vertex = memory.alloc("per_vertex",
+                              np.zeros(max(graph.num_nodes, 1), np.int64))
+    pre = preprocess(graph, device, memory, timeline, options)
+
+    kres = count_triangles_kernel(engine, pre, options,
+                                  result_buf=result_buf,
+                                  per_vertex_buf=per_vertex)
+    timing = time_kernel(engine.report)
+    timeline.add("CountTriangles+local", timing.kernel_ms, phase="count")
+
+    total = thrustlike.reduce_sum(device, result_buf, timeline,
+                                  phase="reduce")
+    local = per_vertex.data[:graph.num_nodes].copy()
+    timeline.add("d2h per-vertex counts", memory.d2h_ms(local.nbytes),
+                 phase="reduce")
+    memory.free_all()
+
+    if int(local.sum()) != 3 * total:
+        raise ReproError(
+            f"corner accumulation {int(local.sum())} != 3 × {total}")
+
+    deg = graph.degrees()
+    wedges = deg * (deg - 1) // 2
+    coeff = np.zeros(graph.num_nodes, np.float64)
+    mask = wedges > 0
+    coeff[mask] = local[mask] / wedges[mask]
+    total_wedges = int(wedges.sum())
+
+    return LocalCountResult(
+        local_triangles=local,
+        triangles=total,
+        local_clustering=coeff,
+        average_clustering=float(coeff.mean()) if graph.num_nodes else 0.0,
+        transitivity=(3.0 * total / total_wedges) if total_wedges else 0.0,
+        total_ms=timeline.total_ms)

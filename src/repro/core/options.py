@@ -1,0 +1,85 @@
+"""Pipeline configuration: every Section III-D optimization as a toggle.
+
+The defaults reproduce the paper's *final* implementation; the ablation
+benches flip one field at a time to regenerate the percentages of
+Section III-D (E4–E8 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ReproError
+from repro.gpusim.simt import LaunchConfig
+
+#: Valid values for :attr:`GpuOptions.cpu_preprocess`.
+CPU_PREPROCESS_MODES = ("auto", "never", "always")
+#: Valid values for :attr:`GpuOptions.merge_variant`.
+MERGE_VARIANTS = ("final", "preliminary")
+#: Valid values for :attr:`GpuOptions.kernel`.
+KERNELS = ("two_pointer", "warp_intersect")
+
+
+@dataclass(frozen=True)
+class GpuOptions:
+    """Knobs of the GPU pipeline.
+
+    Attributes
+    ----------
+    unzip : bool
+        Section III-D1 — counting kernel reads the edge array as SoA
+        (True, 13–32% faster) or interleaved AoS (False).
+    sort_as_u64 : bool
+        Section III-D2 — sort packed 64-bit words with a radix sort
+        (True, ≈5×) or (first, second) pairs with a comparison sort.
+    merge_variant : str
+        Section III-D3 — ``"final"`` reads one value per iteration when
+        no triangle is found; ``"preliminary"`` reads two every
+        iteration (36–48% slower).
+    use_readonly_cache : bool
+        Section III-D4 — route global loads through the per-SM
+        read-only/texture cache (``const __restrict__``).  Ignored on
+        Fermi parts, which cache global loads in L1 regardless.
+    launch : LaunchConfig
+        Section III-C — grid geometry; default 64 threads/block ×
+        8 blocks/SM, the paper's grid-search optimum.  Its
+        ``simulated_warp_size`` field is the Section III-D5 experiment.
+    cpu_preprocess : str
+        Section III-D6 — ``"auto"`` falls back to CPU preprocessing when
+        the device reports out-of-memory (the ``†`` rows), ``"never"``
+        raises instead, ``"always"`` forces the fallback path.
+    kernel : str
+        Counting-kernel strategy: ``"two_pointer"`` is the paper's
+        thread-per-edge merge; ``"warp_intersect"`` is the Section V
+        comparator's warp-per-edge parallel intersection (requires the
+        SoA layout, and the "merge_variant" knob does not apply to it).
+    """
+
+    unzip: bool = True
+    sort_as_u64: bool = True
+    merge_variant: str = "final"
+    use_readonly_cache: bool = True
+    launch: LaunchConfig = field(default_factory=LaunchConfig)
+    cpu_preprocess: str = "auto"
+    kernel: str = "two_pointer"
+
+    def __post_init__(self):
+        if self.merge_variant not in MERGE_VARIANTS:
+            raise ReproError(
+                f"merge_variant must be one of {MERGE_VARIANTS}, "
+                f"got {self.merge_variant!r}")
+        if self.cpu_preprocess not in CPU_PREPROCESS_MODES:
+            raise ReproError(
+                f"cpu_preprocess must be one of {CPU_PREPROCESS_MODES}, "
+                f"got {self.cpu_preprocess!r}")
+        if self.kernel not in KERNELS:
+            raise ReproError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.kernel == "warp_intersect" and not self.unzip:
+            raise ReproError(
+                "the warp_intersect kernel requires the SoA layout "
+                "(unzip=True)")
+
+    def but(self, **changes) -> "GpuOptions":
+        """A copy with the given fields replaced (ablation helper)."""
+        return replace(self, **changes)

@@ -1,0 +1,16 @@
+"""Approximate triangle counting — the related-work family of Section V.
+
+* :mod:`~repro.cpu.approx.doulion` — Tsourakakis et al.'s coin-flip edge
+  sparsification [6];
+* :mod:`~repro.cpu.approx.birthday` — Jha–Seshadhri–Pinar's streaming
+  birthday-paradox estimator [7].
+
+Both trade a few percent of accuracy for large speedups / tiny memory,
+which is exactly the trade-off the paper positions its exact GPU counter
+against.
+"""
+
+from repro.cpu.approx.doulion import doulion_count
+from repro.cpu.approx.birthday import birthday_paradox_count
+
+__all__ = ["doulion_count", "birthday_paradox_count"]

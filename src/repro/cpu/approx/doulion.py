@@ -1,0 +1,56 @@
+"""DOULION: triangle counting with a coin (Tsourakakis et al., KDD'09).
+
+Keep each undirected edge independently with probability ``p``, count
+triangles exactly on the sparsified graph, scale by ``1/p³``.  Unbiased;
+variance shrinks as the true count grows.  Work drops by roughly ``p``
+in the edge passes and much faster in the merge phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.forward import forward_count_cpu
+from repro.errors import ReproError
+from repro.graphs.edgearray import EdgeArray
+from repro.utils import rng_from
+
+
+@dataclass(frozen=True)
+class DoulionResult:
+    """Estimate plus the exact count of the sparsified graph it came from."""
+
+    estimate: float
+    sparsified_triangles: int
+    kept_edges: int
+    p: float
+
+    @property
+    def estimated_triangles(self) -> int:
+        return int(round(self.estimate))
+
+
+def doulion_count(graph: EdgeArray, p: float, seed=None) -> DoulionResult:
+    """Estimate the triangle count by counting on a ``p``-sparsified graph.
+
+    Parameters
+    ----------
+    p : float
+        Edge-keeping probability in (0, 1].
+    """
+    if not (0.0 < p <= 1.0):
+        raise ReproError(f"keep probability must be in (0, 1], got {p}")
+    rng = rng_from(seed)
+
+    # Flip one coin per undirected edge (consistent across both arcs).
+    mask = graph.first < graph.second
+    u = graph.first[mask]
+    v = graph.second[mask]
+    keep = rng.random(len(u)) < p
+    sparse = EdgeArray.from_undirected(u[keep], v[keep],
+                                       num_nodes=graph.num_nodes)
+
+    exact = forward_count_cpu(sparse)
+    return DoulionResult(estimate=exact.triangles / p**3,
+                         sparsified_triangles=exact.triangles,
+                         kept_edges=int(keep.sum()), p=p)

@@ -1,0 +1,93 @@
+"""Latapy's *compact-forward* algorithm.
+
+The refinement of *forward* the paper cites [4]: vertices are renumbered
+by decreasing degree (η), adjacency lists are sorted by η, and the merge
+for edge (u, v) with η(u) < η(v) stops early once either pointer reaches
+a neighbor with η beyond the smaller endpoint — no separate filtered
+adjacency structure is needed, hence "compact".  Triangle totals match
+*forward* exactly; the step counts differ slightly (the early cutoff
+versus the pre-filtered lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import build_node_ptr
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim.device import CpuSpec, XEON_X5650
+from repro.types import VERTEX_DTYPE, pack_edges, unpack_edges
+
+
+@dataclass(frozen=True)
+class CompactForwardResult:
+    triangles: int
+    merge_steps: int
+    elapsed_ms: float
+
+
+def compact_forward_count(graph: EdgeArray,
+                          cpu: CpuSpec = XEON_X5650) -> CompactForwardResult:
+    """Count triangles with compact-forward (exact)."""
+    n = graph.num_nodes
+    m = graph.num_arcs
+    if m == 0:
+        return CompactForwardResult(0, 0, 0.0)
+
+    # η-renumbering: highest degree gets the smallest label.
+    deg = graph.degrees()
+    eta = np.empty(n, np.int64)
+    eta[np.argsort(-deg, kind="stable")] = np.arange(n)
+    u = eta[graph.first].astype(VERTEX_DTYPE)
+    v = eta[graph.second].astype(VERTEX_DTYPE)
+
+    # CSR over the renumbered graph, adjacency sorted by η.
+    packed = np.sort(pack_edges(u, v))
+    adj, keys = unpack_edges(packed)
+    node = build_node_ptr(keys, n).astype(np.int64)
+
+    # Iterate edges with η(u) > η(v) (u the lower-degree endpoint);
+    # merge N(u) × N(v) truncated to labels < η(v) < η(u).
+    mask = u > v
+    arc_u = u[mask].astype(np.int64)
+    arc_v = v[mask].astype(np.int64)
+
+    u_it = node[arc_u]
+    u_end = node[arc_u + 1]
+    v_it = node[arc_v]
+    v_end = node[arc_v + 1]
+    cutoff = arc_v  # merge only neighbors with η < η(v)
+
+    matches = 0
+    steps = 0
+    active = np.flatnonzero((u_it < u_end) & (v_it < v_end))
+    # Also stop when either head passes the cutoff.
+    if len(active):
+        ok = (adj[u_it[active]] < cutoff[active]) & \
+             (adj[v_it[active]] < cutoff[active])
+        active = active[ok]
+    while len(active):
+        au = adj[u_it[active]].astype(np.int64)
+        bv = adj[v_it[active]].astype(np.int64)
+        d = au - bv
+        matches += int((d == 0).sum())
+        steps += len(active)
+        u_it[active] += d <= 0
+        v_it[active] += d >= 0
+        ia = active
+        in_range = (u_it[ia] < u_end[ia]) & (v_it[ia] < v_end[ia])
+        ia = ia[in_range]
+        if len(ia):
+            below = (adj[u_it[ia]] < cutoff[ia]) & (adj[v_it[ia]] < cutoff[ia])
+            ia = ia[below]
+        active = ia
+
+    log_m = np.log2(max(m, 2))
+    elapsed_ns = (m * log_m * cpu.ns_per_sort_compare
+                  + 3 * m * cpu.ns_per_pass_element
+                  + steps * cpu.ns_per_merge_step
+                  + len(arc_u) * cpu.ns_per_edge_setup)
+    return CompactForwardResult(triangles=matches, merge_steps=steps,
+                                elapsed_ms=elapsed_ns * 1e-6)

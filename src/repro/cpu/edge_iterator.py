@@ -1,0 +1,56 @@
+"""Edge-iterator baseline (Schank–Wagner).
+
+For every undirected edge, intersect the *full* sorted neighborhoods of
+its endpoints; every triangle is then found three times (once per edge).
+Running time O(m · deg_max) — the algorithm the forward preprocessing
+improves on for skewed degree distributions (Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.forward import merge_walk
+from repro.graphs.csr import edge_array_to_csr
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim.device import CpuSpec, XEON_X5650
+
+
+@dataclass(frozen=True)
+class EdgeIteratorResult:
+    triangles: int
+    merge_steps: int
+    elapsed_ms: float
+
+
+def edge_iterator_count(graph: EdgeArray,
+                        cpu: CpuSpec = XEON_X5650) -> EdgeIteratorResult:
+    """Count triangles by intersecting full neighborhoods per edge.
+
+    Only one direction of each edge is walked (u < v); each triangle is
+    counted at each of its three edges, so the match total divides by 3.
+    """
+    csr, _cost = edge_array_to_csr(graph)
+    mask = graph.first < graph.second
+    arc_u = graph.first[mask]
+    arc_v = graph.second[mask]
+
+    walk = merge_walk(csr.adj, csr.node_ptr, arc_u, arc_v)
+    matches = walk.total_matches
+    if matches % 3:
+        raise AssertionError(
+            f"edge-iterator match total {matches} not divisible by 3")
+
+    m = graph.num_arcs
+    log_m = np.log2(max(m, 2))
+    elapsed_ns = (
+        m * log_m * cpu.ns_per_sort_compare       # CSR build sort
+        + 2 * m * cpu.ns_per_pass_element
+        + walk.total_steps * cpu.ns_per_merge_step
+        + len(arc_u) * cpu.ns_per_edge_setup
+    )
+    return EdgeIteratorResult(triangles=matches // 3,
+                              merge_steps=walk.total_steps,
+                              elapsed_ms=elapsed_ns * 1e-6)

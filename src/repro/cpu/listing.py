@@ -1,0 +1,112 @@
+"""Triangle *listing*: enumerate the triangles, not just count them.
+
+The algorithmic family the paper builds on is titled "finding, counting
+and listing all triangles" [3]; the forward algorithm lists as naturally
+as it counts — every match of the intersection identifies one triangle
+``(w, u, v)`` with ``w ≺ u ≺ v`` exactly once.  This module materializes
+those matches, vectorized: for each forward arc the shorter endpoint
+list is expanded and membership-probed against the other (the same
+probe machinery as :mod:`repro.cpu.forward_hashed`), and the hits *are*
+the triangle list.
+
+Triangles come out de-duplicated by construction, labelled by original
+vertex ids, in (lowest-order, middle, highest) orientation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.preprocess import forward_mask
+from repro.errors import ReproError
+from repro.graphs.csr import build_node_ptr
+from repro.graphs.edgearray import EdgeArray
+from repro.types import pack_edges, unpack_edges
+
+
+@dataclass(frozen=True)
+class TriangleListing:
+    """Enumerated triangles.
+
+    ``triangles`` is an ``(count, 3)`` int64 array; row ``(w, u, v)``
+    satisfies ``w ≺ u ≺ v`` under the forward (degree, id) order, so
+    every triangle appears exactly once.
+    """
+
+    triangles: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return len(self.triangles)
+
+    def as_sets(self) -> set[frozenset]:
+        """Order-free view for comparisons in tests."""
+        return {frozenset(map(int, row)) for row in self.triangles}
+
+
+def list_triangles(graph: EdgeArray,
+                   limit: int | None = None) -> TriangleListing:
+    """Enumerate every triangle of ``graph``.
+
+    Parameters
+    ----------
+    limit : int, optional
+        Raise :class:`ReproError` if more than ``limit`` triangles would
+        be materialized (memory guard for accidental use on
+        triangle-dense graphs — Citeseer-like graphs hold 30× more
+        triangles than edges).
+    """
+    m = graph.num_arcs
+    if m == 0:
+        return TriangleListing(np.empty((0, 3), np.int64))
+    n = graph.num_nodes
+
+    degrees = graph.degrees()
+    keep = forward_mask(graph.first, graph.second, degrees)
+    packed = np.sort(pack_edges(graph.first[keep], graph.second[keep]))
+    adj, keys = unpack_edges(packed)
+    node = build_node_ptr(keys, n).astype(np.int64)
+    list_len = np.diff(node)
+
+    arc_u = adj.astype(np.int64)
+    arc_v = keys.astype(np.int64)
+    len_u = list_len[arc_u]
+    len_v = list_len[arc_v]
+    probe_from = np.where(len_u <= len_v, arc_u, arc_v)
+    probe_into = np.where(len_u <= len_v, arc_v, arc_u)
+
+    probe_counts = np.minimum(len_u, len_v)
+    total_probes = int(probe_counts.sum())
+    if total_probes == 0:
+        return TriangleListing(np.empty((0, 3), np.int64))
+
+    arc_ids = np.repeat(np.arange(len(arc_u)), probe_counts)
+    starts = node[probe_from]
+    offsets = (np.arange(total_probes)
+               - np.repeat(np.cumsum(probe_counts) - probe_counts,
+                           probe_counts))
+    members = adj[(np.repeat(starts, probe_counts) + offsets)].astype(np.int64)
+    into = np.repeat(probe_into, probe_counts)
+
+    owner_member = (keys.astype(np.int64) * (n + 1) + adj.astype(np.int64))
+    owner_member.sort()
+    probe_keys = into * (n + 1) + members
+    pos = np.searchsorted(owner_member, probe_keys)
+    pos = np.minimum(pos, len(owner_member) - 1)
+    hits = owner_member[pos] == probe_keys
+
+    found = int(hits.sum())
+    if limit is not None and found > limit:
+        raise ReproError(
+            f"graph holds {found} triangles, above the listing limit "
+            f"{limit}")
+
+    hit_arcs = arc_ids[hits]
+    triangles = np.column_stack([
+        members[hits],            # w — the common lower neighbor
+        arc_u[hit_arcs],          # u
+        arc_v[hit_arcs],          # v
+    ])
+    return TriangleListing(triangles=triangles)

@@ -1,0 +1,122 @@
+"""Node-iterator baseline: test every wedge for closure.
+
+For every vertex, enumerate all C(deg, 2) neighbor pairs and test each
+pair for adjacency — O(Σ deg²) work, the weakest of the classical exact
+algorithms on skewed graphs (its work equals the wedge count, which a
+single hub can blow up quadratically).
+
+The wedge enumeration is vectorized in bounded-memory chunks; adjacency
+tests are binary searches in the CSR slices (a vectorized
+``searchsorted`` over segment bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import edge_array_to_csr
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim.device import CpuSpec, XEON_X5650
+
+#: Wedges tested per vectorized chunk (bounds peak memory).
+_CHUNK = 1 << 20
+
+
+def segment_searchsorted(adj: np.ndarray, node: np.ndarray,
+                         owners: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Is ``keys[i]`` present in the sorted slice of vertex ``owners[i]``?
+
+    A manual vectorized binary search over per-vertex segments of
+    ``adj`` — ``np.searchsorted`` cannot scope to segments, so the
+    bisection runs over explicit lo/hi bounds (log2(max degree) rounds).
+    """
+    node = node.astype(np.int64)
+    lo = node[owners]
+    hi = node[owners.astype(np.int64) + 1]
+    keys = keys.astype(adj.dtype)
+    # Invariant: the insertion point is in [lo, hi].
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) // 2
+        below = np.zeros(len(keys), bool)
+        below[active] = adj[mid[active]] < keys[active]
+        lo = np.where(active & below, mid + 1, lo)
+        hi = np.where(active & ~below, mid, hi)
+    # lo is the insertion point; check the element there.
+    found = np.zeros(len(keys), bool)
+    in_range = lo < node[owners.astype(np.int64) + 1]
+    found[in_range] = adj[lo[in_range]] == keys[in_range]
+    return found
+
+
+@dataclass(frozen=True)
+class NodeIteratorResult:
+    triangles: int
+    wedges_tested: int
+    elapsed_ms: float
+
+
+def node_iterator_count(graph: EdgeArray,
+                        cpu: CpuSpec = XEON_X5650) -> NodeIteratorResult:
+    """Count triangles by testing every wedge; each triangle closes three
+    wedges (one per corner), so the closed-wedge total divides by 3...
+    by 6 counting both orientations — we enumerate each neighbor pair
+    once, giving exactly 3 closures per triangle."""
+    csr, _ = edge_array_to_csr(graph)
+    adj, node = csr.adj, csr.node_ptr.astype(np.int64)
+    n = csr.num_nodes
+    deg = np.diff(node)
+
+    closed = 0
+    tested = 0
+    # Stream vertices, emitting the wedge-tip pairs (i, j) in chunks; a
+    # wedge centred at v with tips i, j closes iff j ∈ N(i).
+    batch_i: list[np.ndarray] = []
+    batch_j: list[np.ndarray] = []
+    budget = 0
+    triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def flush() -> tuple[int, int]:
+        nonlocal batch_i, batch_j, budget
+        if not batch_i:
+            return 0, 0
+        ii = np.concatenate(batch_i)
+        jj = np.concatenate(batch_j)
+        batch_i, batch_j = [], []
+        budget = 0
+        hits = segment_searchsorted(adj, node, ii, jj)
+        return int(hits.sum()), len(ii)
+
+    for v in range(n):
+        dv = int(deg[v])
+        if dv < 2:
+            continue
+        neigh = adj[node[v]:node[v + 1]]
+        if dv not in triu_cache:
+            triu_cache[dv] = np.triu_indices(dv, k=1)
+        iu, ju = triu_cache[dv]
+        batch_i.append(neigh[iu])
+        batch_j.append(neigh[ju])
+        budget += len(iu)
+        if budget >= _CHUNK:
+            c, t = flush()
+            closed += c
+            tested += t
+    c, t = flush()
+    closed += c
+    tested += t
+
+    if closed % 3:
+        raise AssertionError(f"closed-wedge total {closed} not divisible by 3")
+
+    log_d = np.log2(max(int(deg.max()) if n else 2, 2))
+    elapsed_ns = (
+        graph.num_arcs * np.log2(max(graph.num_arcs, 2)) * cpu.ns_per_sort_compare
+        + tested * log_d * cpu.ns_per_merge_step  # one binary search per wedge
+    )
+    return NodeIteratorResult(triangles=closed // 3, wedges_tested=tested,
+                              elapsed_ms=elapsed_ns * 1e-6)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Substrate-specific failures get their
+own subclasses because they carry actionable context (e.g. how many bytes
+a device allocation was short by, which drives the paper's Section III-D6
+CPU-preprocessing fallback).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge array / CSR structure violates a format invariant.
+
+    The paper's input contract (Section III-A): no self-loops, no
+    multi-edges, every undirected edge present exactly once in each
+    direction.  Raised by :func:`repro.graphs.validate.validate_edge_array`.
+    """
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-device failures."""
+
+
+class OutOfDeviceMemoryError(DeviceError):
+    """A device allocation exceeded the simulated card's global memory.
+
+    Attributes
+    ----------
+    requested : int
+        Bytes the allocation asked for.
+    available : int
+        Bytes that were free at the time of the request.
+    """
+
+    def __init__(self, requested: int, available: int, message: str | None = None):
+        self.requested = int(requested)
+        self.available = int(available)
+        if message is None:
+            message = (
+                f"simulated device out of memory: requested {requested} B, "
+                f"only {available} B free"
+            )
+        super().__init__(message)
+
+
+class InvalidLaunchError(DeviceError):
+    """A kernel launch configuration violates device limits.
+
+    E.g. threads-per-block not a multiple of the warp size, or more than
+    ``DeviceSpec.max_threads_per_block`` threads per block.
+    """
+
+
+class KernelFault(DeviceError):
+    """A simulated kernel accessed memory outside an allocated region."""
+
+
+class CalibrationError(ReproError):
+    """A timing-model constant is missing or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """An unknown workload name or unsatisfiable workload parameters."""

@@ -1,0 +1,180 @@
+"""Vectorized set-associative LRU cache model.
+
+One :class:`CacheArray` holds *many independent cache instances* in a
+single set of NumPy arrays — e.g. the per-SM read-only caches of a whole
+GPU (16 instances on the GTX 980), or a single device-wide L2.  The SIMT
+engine feeds it batches of (instance, line-address) accesses once per
+lockstep step; probe and LRU update are fully vectorized.
+
+Semantics within one batch (one kernel step):
+
+* duplicate (instance, line) pairs collapse to one probe; the extras are
+  counted as hits — this mirrors MSHR merging on real hardware, where
+  concurrent misses to one line produce a single fill;
+* distinct missing lines that collide in one set are all inserted,
+  evicting in LRU order (if more collide than there are ways, the
+  earliest inserted are immediately evicted — exactly what a sequential
+  processing order would do).
+
+The hit/miss counters here are the source of the Table II "cache hit
+rate" column; the miss count × line size is the DRAM traffic behind the
+"bandwidth" column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss counters (requests, after coalescing)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction in [0, 1]; 0 when no requests were made."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+class CacheArray:
+    """``num_instances`` independent set-associative LRU caches.
+
+    Parameters
+    ----------
+    num_instances : int
+        How many physical caches share this state (per-SM caches fold
+        into one object; the instance id is part of the set index).
+    capacity_bytes : int
+        Capacity of *each* instance.
+    line_bytes : int
+        Cache line (fill granularity).
+    ways : int
+        Associativity.  ``capacity = sets × ways × line``.
+    """
+
+    def __init__(self, num_instances: int, capacity_bytes: int,
+                 line_bytes: int, ways: int):
+        if num_instances < 1:
+            raise ReproError(f"need >= 1 cache instance, got {num_instances}")
+        sets = capacity_bytes // (line_bytes * ways)
+        if sets < 1:
+            raise ReproError(
+                f"cache too small: {capacity_bytes} B with {ways}-way × "
+                f"{line_bytes} B lines leaves no sets")
+        self.num_instances = num_instances
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = sets
+        total_sets = num_instances * sets
+        # tags[s, w] = line id resident in way w of (flattened) set s.
+        self._tags = np.full((total_sets, ways), -1, dtype=np.int64)
+        # stamp[s, w] = last-touch timestamp (monotone counter) for LRU.
+        self._stamp = np.zeros((total_sets, ways), dtype=np.int64)
+        self._clock = 1
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Invalidate all lines and zero the counters."""
+        self._tags.fill(-1)
+        self._stamp.fill(0)
+        self._clock = 1
+        self.stats = CacheStats()
+
+    def access(self, instance_ids: np.ndarray, byte_addrs: np.ndarray) -> np.ndarray:
+        """Probe a batch of reads; returns a per-request boolean hit mask.
+
+        ``instance_ids`` selects the cache instance (e.g. SM id); both
+        arrays must be equal length.  Misses insert the line.
+        """
+        if len(instance_ids) != len(byte_addrs):
+            raise ReproError("instance_ids and byte_addrs length mismatch")
+        if len(byte_addrs) == 0:
+            return np.zeros(0, dtype=bool)
+
+        lines = byte_addrs.astype(np.int64) // self.line_bytes
+        set_idx = (lines % self.sets) + instance_ids.astype(np.int64) * self.sets
+
+        # Collapse duplicates (MSHR merge): probe each (set, line) once.
+        key = set_idx * (1 << 40) + (lines % (1 << 40))
+        uniq_key, first_pos, inverse = np.unique(key, return_index=True,
+                                                 return_inverse=True)
+        u_set = set_idx[first_pos]
+        u_line = lines[first_pos]
+
+        gathered = self._tags[u_set]                       # (U, ways)
+        match = gathered == u_line[:, None]
+        hit = match.any(axis=1)
+
+        now = self._clock
+        self._clock += len(uniq_key) + 1
+
+        if hit.any():
+            hit_sets = u_set[hit]
+            hit_ways = np.argmax(match[hit], axis=1)
+            self._stamp[hit_sets, hit_ways] = now
+
+        miss = ~hit
+        if miss.any():
+            miss_sets = u_set[miss]
+            miss_lines = u_line[miss]
+            # Group same-set misses: within one batch each gets its own
+            # victim way, chosen in LRU order.
+            order = np.argsort(miss_sets, kind="stable")
+            ms = miss_sets[order]
+            ml = miss_lines[order]
+            group_start = np.concatenate([[True], ms[1:] != ms[:-1]])
+            # rank of each miss within its set group (0, 1, 2, ...)
+            idx = np.arange(len(ms))
+            start_idx = np.maximum.accumulate(np.where(group_start, idx, 0))
+            rank = idx - start_idx
+            # Victim = LRU way.  Rank-0 misses (the vast majority — a set
+            # rarely takes two distinct new lines in one step) need only
+            # an argmin; higher ranks get the full LRU ordering.
+            stamps = self._stamp[ms]
+            victim_way = np.argmin(stamps, axis=1)
+            multi = rank > 0
+            if multi.any():
+                rows = np.flatnonzero(multi)
+                order_rows = np.argsort(stamps[rows], axis=1, kind="stable")
+                victim_way[rows] = order_rows[np.arange(len(rows)),
+                                              rank[rows] % self.ways]
+            self._tags[ms, victim_way] = ml
+            self._stamp[ms, victim_way] = now + 1 + rank
+
+        # Per-request result: duplicates of a probed line count as hits.
+        result = hit[inverse]
+        dup = np.ones(len(key), dtype=bool)
+        dup[first_pos] = False
+        result = result | dup
+
+        self.stats.hits += int(result.sum())
+        self.stats.misses += int((~result).sum())
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently cached (all instances)."""
+        return int((self._tags >= 0).sum())
+
+    def __repr__(self) -> str:
+        return (f"CacheArray(instances={self.num_instances}, sets={self.sets}, "
+                f"ways={self.ways}, line={self.line_bytes}B)")

@@ -1,0 +1,252 @@
+"""Device catalog: the three GPUs and one CPU of the paper's evaluation.
+
+All numbers are the cards' published specifications (SM count, cores per
+SM, clock, memory size, peak DRAM bandwidth, PCIe generation) plus cache
+geometry of the read-only path the counting kernel exercises.  The
+``issue_width`` / latency entries follow the architecture whitepapers
+(Fermi GF100/GF108, Maxwell GM204).
+
+These specs are the *only* hardware-derived constants in the timing
+model; everything else is measured by the simulator (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Simulated CUDA device description.
+
+    Attributes
+    ----------
+    name : str
+        Marketing name, used in tables.
+    architecture : str
+        ``"fermi"`` or ``"maxwell"`` — decides the read-only-cache rule of
+        Section III-D4 (Fermi caches global loads in L1 by default; on
+        Kepler/Maxwell only ``const __restrict__`` data goes through the
+        texture cache).
+    num_sms, cores_per_sm, clock_ghz
+        Multiprocessor geometry and shader clock.
+    issue_width
+        Warp-instructions issued per SM per cycle (GF100: 1 effective,
+        GM204: 4 schedulers).
+    warp_size, max_threads_per_block, max_blocks_per_sm, max_threads_per_sm
+        Launch-configuration limits.
+    memory_bytes
+        Global memory capacity (drives the Section III-D6 ``†`` fallback).
+    peak_bandwidth_gbs
+        Peak DRAM bandwidth in GB/s.
+    dram_efficiency
+        Fraction of peak a scattered-read workload can sustain (the paper
+        observes "about half" of the 224 GB/s peak; we use the published
+        ~60–70% attainable-efficiency figures and let the cache model do
+        the rest).
+    l1_bytes, l1_ways, line_bytes, sector_bytes
+        Per-SM read-only/L1 cache geometry.
+    l2_bytes, l2_ways
+        Device-wide L2 geometry.
+    mem_latency_cycles
+        DRAM round-trip in cycles; bounds throughput when too few warps
+        are resident to cover it.
+    pcie_gbs
+        Effective host↔device copy bandwidth.
+    """
+
+    name: str
+    architecture: str
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    issue_width: int
+    memory_bytes: int
+    peak_bandwidth_gbs: float
+    dram_efficiency: float
+    l1_bytes: int
+    l1_ways: int
+    line_bytes: int
+    sector_bytes: int
+    l2_bytes: int
+    l2_ways: int
+    mem_latency_cycles: int
+    pcie_gbs: float
+    #: Device-wide L2 bandwidth in GB/s (every L1 miss / uncached access
+    #: rides this — the resource the Section III-D4 read-only cache
+    #: relieves).
+    l2_bandwidth_gbs: float = 400.0
+    #: L1/LSU throughput: memory transactions each SM can issue per cycle
+    #: (bounds load-heavy loops like the preliminary merge variant).
+    lsu_transactions_per_cycle: float = 1.0
+    #: Resident warps per SM needed to hide memory latency; below this
+    #: the SM idles proportionally (what the Section III-C grid search
+    #: optimizes — 512 threads/SM = 16 warps is the paper's optimum).
+    latency_hiding_warps: int = 16
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 16
+    max_threads_per_sm: int = 1536
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    @property
+    def caches_global_loads_by_default(self) -> bool:
+        """Fermi runs global loads through L1; Kepler/Maxwell need the
+        ``const __restrict__`` qualifiers (Section III-D4)."""
+        return self.architecture == "fermi"
+
+    def with_memory(self, memory_bytes: int) -> "DeviceSpec":
+        """A copy with a different global-memory capacity.
+
+        The bench harness scales capacity together with workload scale so
+        the footprint/capacity *ratio* matches the full-size experiment
+        (this is what re-triggers the paper's ``†`` fallback at mini scale).
+        """
+        return replace(self, memory_bytes=int(memory_bytes))
+
+    def scaled_memory(self, scale: float) -> "DeviceSpec":
+        """Capacity scaled by the workload's size fraction (see above)."""
+        return self.with_memory(max(int(self.memory_bytes * scale), 1))
+
+    def scaled(self, scale: float) -> "DeviceSpec":
+        """Scale the *capacity-bound* resources to a mini-scale workload.
+
+        Global memory and the device-wide L2 shrink with the workload so
+        the footprint/capacity and working-set/L2 ratios match the
+        full-size experiment (at full scale the graphs dwarf the 0.75–2 MB
+        L2; an unscaled L2 would swallow a mini graph whole and zero out
+        the DRAM traffic the paper measures).  The per-SM read-only cache
+        is *not* scaled: its hit rate is governed by the locality of the
+        resident warps' current merge windows, whose size is set by the
+        launch geometry, not by the graph.
+        """
+        if not (0 < scale <= 1):
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        min_l2 = self.line_bytes * self.l2_ways  # one set minimum
+        return replace(
+            self,
+            memory_bytes=max(int(self.memory_bytes * scale), 1),
+            l2_bytes=max(int(self.l2_bytes * scale), min_l2),
+        )
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Single-threaded CPU model for the baseline forward implementation.
+
+    The two throughput constants are calibrated once against the paper's
+    LiveJournal CPU row (13.8 s) and then reused unchanged everywhere —
+    see ``repro.bench.calibration``.
+    """
+
+    name: str
+    clock_ghz: float
+    #: sustained ns per merge-loop step of the sequential counting phase
+    #: (compare + predicated advances + one cached load).
+    ns_per_merge_step: float
+    #: sustained ns per element for one preprocessing pass (stream work).
+    ns_per_pass_element: float
+    #: ns per element-comparison of a sort; total sort cost is
+    #: ``m × log2(m) × ns_per_sort_compare``.
+    ns_per_sort_compare: float
+    #: ns of fixed per-edge setup in the counting loop (pointer loads).
+    ns_per_edge_setup: float = 8.0
+    #: host memory bandwidth in GB/s (bounds streaming passes).
+    bandwidth_gbs: float = 32.0
+
+
+TESLA_C2050 = DeviceSpec(
+    name="Tesla C2050",
+    architecture="fermi",
+    num_sms=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    issue_width=1,
+    memory_bytes=3 * 1024**3,
+    peak_bandwidth_gbs=144.0,
+    dram_efficiency=0.50,
+    l1_bytes=16 * 1024,        # 16 KB L1 / 48 KB shared configuration
+    l1_ways=4,
+    line_bytes=128,
+    sector_bytes=32,
+    l2_bytes=768 * 1024,
+    l2_ways=8,
+    mem_latency_cycles=550,
+    pcie_gbs=6.0,              # PCIe 2.0 x16 effective
+    l2_bandwidth_gbs=230.0,
+    lsu_transactions_per_cycle=0.5,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+)
+
+GTX_980 = DeviceSpec(
+    name="GTX 980",
+    architecture="maxwell",
+    num_sms=16,
+    cores_per_sm=128,
+    clock_ghz=1.126,
+    issue_width=4,
+    memory_bytes=4 * 1024**3,
+    peak_bandwidth_gbs=224.0,
+    dram_efficiency=0.50,
+    l1_bytes=24 * 1024,        # unified L1/texture slice per SMM
+    l1_ways=8,
+    line_bytes=128,
+    sector_bytes=32,
+    l2_bytes=2 * 1024**2,
+    l2_ways=16,
+    mem_latency_cycles=350,
+    pcie_gbs=12.0,             # PCIe 3.0 x16 effective
+    l2_bandwidth_gbs=450.0,
+    lsu_transactions_per_cycle=1.0,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+)
+
+NVS_5200M = DeviceSpec(
+    name="NVS 5200M",
+    architecture="fermi",
+    num_sms=2,
+    cores_per_sm=48,
+    clock_ghz=1.344,
+    issue_width=1,
+    memory_bytes=1 * 1024**3,
+    peak_bandwidth_gbs=14.4,
+    dram_efficiency=0.50,
+    l1_bytes=16 * 1024,
+    l1_ways=4,
+    line_bytes=128,
+    sector_bytes=32,
+    l2_bytes=128 * 1024,
+    l2_ways=8,
+    mem_latency_cycles=550,
+    pcie_gbs=3.0,
+    l2_bandwidth_gbs=40.0,
+    lsu_transactions_per_cycle=0.35,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+)
+
+XEON_X5650 = CpuSpec(
+    name="Xeon X5650",
+    clock_ghz=2.66,
+    ns_per_merge_step=2.0,
+    ns_per_pass_element=2.0,
+    ns_per_sort_compare=2.0,
+    ns_per_edge_setup=8.0,
+    bandwidth_gbs=32.0,
+)
+
+#: All simulated GPUs by short key.
+DEVICES: dict[str, DeviceSpec] = {
+    "c2050": TESLA_C2050,
+    "gtx980": GTX_980,
+    "nvs5200m": NVS_5200M,
+}

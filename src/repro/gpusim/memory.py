@@ -1,0 +1,147 @@
+"""Simulated device global memory: allocation, capacity, transfers.
+
+The allocator gives every buffer a *device address* in a flat address
+space — the SIMT engine turns array indices into byte addresses with
+these bases, so cache sets and coalescing behave as they would on real
+hardware (two arrays never alias, allocations are 256-byte aligned like
+``cudaMalloc``'s).
+
+Capacity accounting is what drives the paper's Section III-D6 behaviour:
+when the preprocessing working set exceeds ``DeviceSpec.memory_bytes``
+the pipeline catches :class:`OutOfDeviceMemoryError` and falls back to
+CPU preprocessing (the ``†`` rows of Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OutOfDeviceMemoryError
+from repro.gpusim.device import DeviceSpec
+
+#: cudaMalloc alignment.
+_ALIGN = 256
+
+
+@dataclass
+class DeviceBuffer:
+    """A device allocation: host-side backing array + device address.
+
+    The backing ndarray holds the *functional* contents (the simulator
+    computes real results); ``device_addr`` is the simulated placement
+    used for cache/coalescing address math.
+    """
+
+    name: str
+    data: np.ndarray
+    device_addr: int
+    freed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.itemsize
+
+    def addresses(self, indices: np.ndarray) -> np.ndarray:
+        """Byte addresses of ``self.data[indices]`` in device space."""
+        return self.device_addr + indices.astype(np.int64) * self.itemsize
+
+
+class DeviceMemory:
+    """Bump allocator with explicit free and peak tracking.
+
+    A bump allocator (freed space is only reclaimed when the *top*
+    allocation is freed) matches how the pipeline uses memory — strictly
+    phase-ordered allocate/free — while keeping peak accounting exact.
+    """
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self._top = 0
+        self._live: dict[int, DeviceBuffer] = {}
+        self.peak_bytes = 0
+        self.total_allocated_bytes = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def used_bytes(self) -> int:
+        return self._top
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.memory_bytes - self._top
+
+    def alloc(self, name: str, data: np.ndarray) -> DeviceBuffer:
+        """Place a copy of ``data`` on the device.
+
+        Raises
+        ------
+        OutOfDeviceMemoryError
+            If the aligned size does not fit in the remaining capacity.
+        """
+        data = np.ascontiguousarray(data)
+        size = -(-max(data.nbytes, 1) // _ALIGN) * _ALIGN
+        if size > self.free_bytes:
+            raise OutOfDeviceMemoryError(requested=size, available=self.free_bytes)
+        buf = DeviceBuffer(name=name, data=data.copy(), device_addr=self._top)
+        self._top += size
+        self._live[buf.device_addr] = buf
+        self.total_allocated_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self._top)
+        return buf
+
+    def alloc_empty(self, name: str, shape, dtype) -> DeviceBuffer:
+        """Allocate an uninitialized buffer (``cudaMalloc`` without copy)."""
+        return self.alloc(name, np.empty(shape, dtype=dtype))
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release a buffer; space is reclaimed once the top buffer frees."""
+        if buf.freed:
+            raise ValueError(f"double free of device buffer {buf.name!r}")
+        buf.freed = True
+        del self._live[buf.device_addr]
+        # Reclaim the now-free suffix of the heap.
+        if self._live:
+            top_buf = self._live[max(self._live)]
+            self._top = top_buf.device_addr + (-(-max(top_buf.nbytes, 1) // _ALIGN) * _ALIGN)
+        else:
+            self._top = 0
+
+    def free_all(self) -> None:
+        """Release everything (end-of-run ``cudaFree`` sweep)."""
+        for buf in list(self._live.values()):
+            buf.freed = True
+        self._live.clear()
+        self._top = 0
+
+    def snapshot(self) -> frozenset:
+        """Opaque marker of the currently live allocations."""
+        return frozenset(self._live)
+
+    def release_new(self, snap: frozenset) -> None:
+        """Free every allocation made since ``snapshot()`` (OOM rollback:
+        a failed phase cleans up after itself without touching buffers
+        the caller already held)."""
+        for addr in sorted((a for a in self._live if a not in snap),
+                           reverse=True):
+            self.free(self._live[addr])
+
+    # ------------------------------------------------------------------ #
+    # transfer timing
+    # ------------------------------------------------------------------ #
+
+    def h2d_ms(self, nbytes: int) -> float:
+        """Milliseconds to copy ``nbytes`` host → device over PCIe."""
+        return nbytes / (self.spec.pcie_gbs * 1e9) * 1e3
+
+    d2h_ms = h2d_ms  # symmetric link
+
+    def __repr__(self) -> str:
+        return (f"DeviceMemory({self.spec.name!r}, used={self.used_bytes}, "
+                f"capacity={self.spec.memory_bytes})")

@@ -1,0 +1,69 @@
+"""Multi-device contexts (paper Section III-E).
+
+The paper's multi-GPU scheme is deliberately simple: preprocess on one
+device, copy the preprocessed arrays to the others, and let each device
+count its slice of the edges.  This module supplies the device-set
+bookkeeping: one :class:`~repro.gpusim.memory.DeviceMemory` per card and
+host-mediated broadcast copies with PCIe timing.  The counting logic
+itself lives in :mod:`repro.core.multi_gpu`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import DeviceBuffer, DeviceMemory
+from repro.gpusim.timing import Timeline
+
+
+class MultiGpuContext:
+    """A set of identical simulated devices.
+
+    Parameters
+    ----------
+    device : DeviceSpec
+        Card model (the paper uses four Tesla C2050s).
+    count : int
+        Number of cards.
+    """
+
+    def __init__(self, device: DeviceSpec, count: int):
+        if count < 1:
+            raise DeviceError(f"need at least one device, got {count}")
+        self.device = device
+        self.count = count
+        self.memories = [DeviceMemory(device) for _ in range(count)]
+
+    @property
+    def primary(self) -> DeviceMemory:
+        """The device that runs the preprocessing phase."""
+        return self.memories[0]
+
+    def broadcast(self, buf: DeviceBuffer, timeline: Timeline | None = None
+                  ) -> list[DeviceBuffer]:
+        """Copy a primary-device buffer to every other device.
+
+        Returns the per-device buffer list (index 0 is the original).
+        Transfers are host-mediated (device → host → each device), the
+        conservative path the paper's simple scheme implies; both hops
+        ride the PCIe link, serialized per destination.
+        """
+        out = [buf]
+        per_copy_ms = 2.0 * buf.nbytes / (self.device.pcie_gbs * 1e9) * 1e3
+        for i, mem in enumerate(self.memories[1:], start=1):
+            out.append(mem.alloc(f"{buf.name}@dev{i}", buf.data))
+            if timeline is not None:
+                timeline.add(f"broadcast {buf.name} -> dev{i}", per_copy_ms,
+                             phase="copy")
+        return out
+
+    def partition_ranges(self, num_items: int) -> list[tuple[int, int]]:
+        """Contiguous near-equal ``[lo, hi)`` item ranges, one per device."""
+        bounds = np.linspace(0, num_items, self.count + 1).astype(np.int64)
+        return [(int(bounds[i]), int(bounds[i + 1])) for i in range(self.count)]
+
+    def free_all(self) -> None:
+        for mem in self.memories:
+            mem.free_all()

@@ -1,0 +1,86 @@
+"""nvprof-style reports over simulated kernel executions.
+
+The paper's Table II comes from profiler counters; this module is the
+simulator's equivalent of that profiler — it formats a
+:class:`~repro.gpusim.simt.KernelReport` + :class:`~repro.gpusim.timing
+.KernelTiming` into the metric sheet an Nvidia profiler would print
+(achieved occupancy, SIMD efficiency, cache hit rates, transactions per
+request, DRAM throughput, the limiting resource), plus a whole-pipeline
+view with the per-phase timeline.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.gpusim.simt import KernelReport
+from repro.gpusim.timing import KernelTiming, achieved_bandwidth_gbs
+from repro.utils import human_bytes, human_ms
+
+
+def format_kernel_profile(report: KernelReport, timing: KernelTiming,
+                          name: str = "CountTriangles") -> str:
+    """One kernel's metric sheet (what ``nvprof --metrics`` would show)."""
+    device = report.device
+    launch = report.launch
+    out = io.StringIO()
+    out.write(f"==PROF== {name} on {device.name} "
+              f"<<<{launch.grid_blocks(device)}, "
+              f"{launch.threads_per_block}>>>\n")
+
+    def metric(label, value):
+        out.write(f"  {label:<38} {value}\n")
+
+    resident = launch.resident_warps_per_sm(device)
+    metric("duration", human_ms(timing.kernel_ms))
+    metric("limiting resource", timing.bound)
+    metric("resident warps / SM",
+           f"{resident} ({resident / (device.max_threads_per_sm // device.warp_size):.0%} occupancy)")
+    metric("warp execution (SIMD) efficiency",
+           f"{report.simd_efficiency:.1%}")
+    steps = ", ".join(f"{k}: {v:,}" for k, v in sorted(report.warp_steps.items()))
+    metric("warp-steps executed", steps or "none")
+    metric("instruction slots issued", f"{report.instruction_slots:,}")
+    metric("global load requests (lanes)", f"{report.lane_reads:,}")
+    metric("memory transactions", f"{report.transactions:,}")
+    if report.transactions:
+        metric("requests per transaction",
+               f"{report.lane_reads / report.transactions:.2f}")
+    l1_total = report.l1_hits + report.l1_misses
+    if l1_total:
+        metric("tex/L1 hit rate",
+               f"{report.l1_hit_rate:.2%} "
+               f"({report.l1_hits:,} / {l1_total:,})")
+    else:
+        metric("tex/L1 hit rate", "bypassed (no const __restrict__)")
+    l2_total = report.l2_hits + report.l2_misses
+    if l2_total:
+        metric("L2 hit rate", f"{report.l2_hits / l2_total:.2%}")
+    metric("L2 traffic", human_bytes(report.l2_bytes))
+    metric("DRAM traffic", human_bytes(report.dram_bytes))
+    metric("DRAM throughput",
+           f"{achieved_bandwidth_gbs(report, timing.kernel_ms):.1f} GB/s "
+           f"of {device.peak_bandwidth_gbs:.0f} peak")
+    metric("roofline components",
+           f"compute {human_ms(timing.compute_ms)}, "
+           f"dram {human_ms(timing.dram_ms)}, "
+           f"l2 {human_ms(timing.l2_ms)}, "
+           f"lsu {human_ms(timing.lsu_ms)}")
+    return out.getvalue()
+
+
+def format_run_profile(run) -> str:
+    """Whole-pipeline profile of a :class:`~repro.core.forward_gpu
+    .GpuRunResult` (timeline + kernel sheet)."""
+    out = io.StringIO()
+    out.write(f"==PROF== pipeline on {run.device.name}: "
+              f"{run.triangles:,} triangles in {human_ms(run.total_ms)}"
+              f"{'  [† CPU preprocessing]' if run.used_cpu_fallback else ''}\n")
+    out.write(f"  {'phase':<11} {'step':<34} {'time':>12} {'share':>7}\n")
+    total = run.total_ms or 1.0
+    for event in run.timeline.events:
+        out.write(f"  {event.phase:<11} {event.name:<34} "
+                  f"{human_ms(event.ms):>12} {event.ms / total:>6.1%}\n")
+    out.write("\n")
+    out.write(format_kernel_profile(run.kernel_report, run.kernel_timing))
+    return out.getvalue()

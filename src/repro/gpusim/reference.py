@@ -1,0 +1,108 @@
+"""Golden per-thread reference executor for the counting kernel.
+
+The lockstep engine (:mod:`repro.gpusim.simt`) is heavily vectorized;
+this module re-implements ``CountTriangles`` as the *literal* CUDA
+listing — one plain-Python loop per thread, both loop variants — so
+tests can validate the fast path's per-thread counts and per-warp
+iteration totals against an implementation simple enough to audit by
+eye.  It is orders of magnitude slower and is only ever run on tiny
+inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Per-thread counts plus warp-level iteration totals."""
+
+    thread_counts: np.ndarray    # uint64, one per thread
+    #: per-warp total merge iterations under warp-synchronous semantics
+    #: (each edge round costs the max of the lanes' merge lengths).
+    warp_merge_steps: np.ndarray
+    #: per-warp number of edge-setup rounds executed.
+    warp_setup_steps: np.ndarray
+
+    @property
+    def triangles(self) -> int:
+        return int(self.thread_counts.sum())
+
+
+def _merge_length(adj, u_it, u_end, v_it, v_end) -> tuple[int, int]:
+    """One sequential two-pointer merge; returns (matches, iterations)."""
+    count = 0
+    steps = 0
+    if u_it < u_end and v_it < v_end:
+        a = adj[u_it]
+        b = adj[v_it]
+        while u_it < u_end and v_it < v_end:
+            steps += 1
+            d = int(a) - int(b)
+            if d <= 0:
+                u_it += 1
+                if u_it < u_end:
+                    a = adj[u_it]
+            if d >= 0:
+                v_it += 1
+                if v_it < v_end:
+                    b = adj[v_it]
+            if d == 0:
+                count += 1
+    return count, steps
+
+
+def reference_count(adj: np.ndarray,
+                    keys: np.ndarray,
+                    node: np.ndarray,
+                    num_threads: int,
+                    warp_size: int = 32,
+                    lo: int = 0,
+                    hi: int | None = None) -> ReferenceResult:
+    """Run ``CountTriangles`` per-thread over arcs ``[lo, hi)``.
+
+    ``adj``/``keys`` are the preprocessed forward columns and ``node``
+    the node array, exactly as :class:`repro.core.preprocess
+    .PreprocessResult` holds them.
+    """
+    m = len(keys)
+    hi = m if hi is None else hi
+    counts = np.zeros(num_threads, np.uint64)
+    num_warps = (num_threads + warp_size - 1) // warp_size
+    warp_merge = np.zeros(num_warps, np.int64)
+    warp_setup = np.zeros(num_warps, np.int64)
+
+    node = node.astype(np.int64)
+    for warp in range(num_warps):
+        lanes = range(warp * warp_size,
+                      min((warp + 1) * warp_size, num_threads))
+        # Warp-synchronous edge rounds: round r covers arcs
+        # lo + lane + r * num_threads; the warp keeps going while any
+        # lane still has one.
+        r = 0
+        while True:
+            round_steps = 0
+            any_lane = False
+            for lane in lanes:
+                i = lo + lane + r * num_threads
+                if i >= hi:
+                    continue
+                any_lane = True
+                u = int(adj[i])
+                v = int(keys[i])
+                matches, steps = _merge_length(
+                    adj, int(node[u]), int(node[u + 1]),
+                    int(node[v]), int(node[v + 1]))
+                counts[lane] += np.uint64(matches)
+                round_steps = max(round_steps, steps)
+            if not any_lane:
+                break
+            warp_setup[warp] += 1
+            warp_merge[warp] += round_steps
+            r += 1
+    return ReferenceResult(thread_counts=counts,
+                           warp_merge_steps=warp_merge,
+                           warp_setup_steps=warp_setup)

@@ -1,0 +1,315 @@
+"""Warp-lockstep SIMT execution engine.
+
+The engine executes kernels the way the hardware does at warp
+granularity: all 32 lanes of a warp move through the instruction stream
+together under an active mask; a warp leaves a divergent loop only when
+*every* lane has left it (reconvergence), which is exactly the
+effect the paper's Section III-D5 warp-size experiment manipulates.
+
+Kernels are written *vectorized over warps*: per-lane state lives in
+NumPy arrays indexed by global lane id, and one engine "tick" advances
+every live warp by one warp-instruction-block (a merge-loop iteration,
+an edge-setup block, ...).  The engine is responsible for
+
+* memory: index → device byte address → per-warp coalescing →
+  per-SM read-only cache → device L2 → DRAM byte counting,
+* occupancy bookkeeping (which SM owns which warp),
+* instruction/step accounting per SM (feeds the timing model),
+* divergence accounting (active lanes per executed warp-step).
+
+The functional results are exact — the engine *computes* with the real
+data while it counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidLaunchError, KernelFault
+from repro.gpusim.cache import CacheArray
+from repro.gpusim.coalesce import coalesce
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import DeviceBuffer
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Kernel launch geometry — the paper's tuning knobs (Section III-C).
+
+    The paper's grid search concludes 64 threads/block × 8 blocks/SM is
+    (near-)optimal on all three devices; those are the defaults.
+
+    ``simulated_warp_size`` implements the Section III-D5 trick: running
+    with logically smaller warps (extra threads idle) so a cache miss
+    stalls fewer lanes.  It must divide the hardware warp size.
+    """
+
+    threads_per_block: int = 64
+    blocks_per_sm: int = 8
+    simulated_warp_size: int | None = None
+
+    def validate(self, device: DeviceSpec) -> None:
+        tpb, bps = self.threads_per_block, self.blocks_per_sm
+        if tpb < 1 or tpb > device.max_threads_per_block:
+            raise InvalidLaunchError(
+                f"threads_per_block={tpb} outside [1, {device.max_threads_per_block}]")
+        if tpb % device.warp_size:
+            raise InvalidLaunchError(
+                f"threads_per_block={tpb} not a multiple of warp size "
+                f"{device.warp_size}")
+        if bps < 1 or bps > device.max_blocks_per_sm:
+            raise InvalidLaunchError(
+                f"blocks_per_sm={bps} outside [1, {device.max_blocks_per_sm}]")
+        if tpb * bps > device.max_threads_per_sm:
+            raise InvalidLaunchError(
+                f"{tpb} threads/block × {bps} blocks/SM exceeds "
+                f"{device.max_threads_per_sm} resident threads per SM")
+        if self.simulated_warp_size is not None:
+            sws = self.simulated_warp_size
+            if sws < 1 or device.warp_size % sws:
+                raise InvalidLaunchError(
+                    f"simulated_warp_size={sws} must divide warp size "
+                    f"{device.warp_size}")
+
+    def grid_blocks(self, device: DeviceSpec) -> int:
+        return self.blocks_per_sm * device.num_sms
+
+    def total_threads(self, device: DeviceSpec) -> int:
+        return self.grid_blocks(device) * self.threads_per_block
+
+    def resident_warps_per_sm(self, device: DeviceSpec) -> int:
+        return self.threads_per_block * self.blocks_per_sm // device.warp_size
+
+
+@dataclass
+class KernelReport:
+    """Everything the engine measured during one kernel execution.
+
+    This is pure *work*; :mod:`repro.gpusim.timing` converts it to
+    simulated time using the device constants.
+    """
+
+    device: DeviceSpec = None
+    launch: LaunchConfig = None
+    #: warp-steps executed, per instruction-block kind (e.g. "merge", "setup").
+    warp_steps: dict = field(default_factory=dict)
+    #: warp-instruction slots issued (warp-steps × instructions of the block).
+    instruction_slots: int = 0
+    #: per-SM instruction slots (imbalance shows up here).
+    sm_instruction_slots: np.ndarray | None = None
+    #: lane-level reads before coalescing.
+    lane_reads: int = 0
+    #: memory transactions after per-warp coalescing.
+    transactions: int = 0
+    #: L1 (read-only cache) hits/misses — Table II's "cache hit rate".
+    l1_hits: int = 0
+    l1_misses: int = 0
+    #: L2 hits/misses (L2 probed on L1 misses, or directly if L1 bypassed).
+    l2_hits: int = 0
+    l2_misses: int = 0
+    #: bytes served by L2 (hits and miss fills — the L2 bandwidth load).
+    l2_bytes: int = 0
+    #: bytes actually fetched from DRAM (L2 miss fills + uncached writes).
+    dram_bytes: int = 0
+    #: sum over executed warp-steps of active lanes (divergence numerator).
+    active_lane_sum: int = 0
+    #: executed warp-steps total (divergence denominator, × warp size).
+    total_warp_steps: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Mean fraction of lanes active per executed warp-step."""
+        if not self.total_warp_steps:
+            return 0.0
+        return self.active_lane_sum / (self.total_warp_steps *
+                                       self.launch_warp_size)
+
+    @property
+    def launch_warp_size(self) -> int:
+        if self.launch and self.launch.simulated_warp_size:
+            return self.launch.simulated_warp_size
+        return self.device.warp_size if self.device else 32
+
+
+class SimtEngine:
+    """Executes one kernel launch on one simulated device.
+
+    Parameters
+    ----------
+    device : DeviceSpec
+    launch : LaunchConfig
+    use_ro_cache : bool
+        Section III-D4: when False (no ``const __restrict__`` on a
+        Kepler/Maxwell part), global loads bypass the per-SM cache and go
+        to L2 at sector granularity.  Fermi parts cache global loads in
+        L1 regardless (`device.caches_global_loads_by_default`).
+    """
+
+    def __init__(self, device: DeviceSpec, launch: LaunchConfig,
+                 use_ro_cache: bool = True):
+        launch.validate(device)
+        self.device = device
+        self.launch = launch
+
+        warp = launch.simulated_warp_size or device.warp_size
+        self.warp_size = warp
+        self.num_threads = launch.total_threads(device)
+        self.num_warps = self.num_threads // warp
+
+        # Warp → SM ownership: blocks are distributed round-robin over SMs
+        # (how the hardware distributes a grid sized blocks_per_sm × SMs).
+        tpb = launch.threads_per_block
+        warps_per_block = tpb // warp
+        block_of_warp = np.arange(self.num_warps) // warps_per_block
+        self.warp_sm = (block_of_warp % device.num_sms).astype(np.int64)
+
+        l1_enabled = use_ro_cache or device.caches_global_loads_by_default
+        self.l1 = (CacheArray(device.num_sms, device.l1_bytes,
+                              device.line_bytes, device.l1_ways)
+                   if l1_enabled else None)
+        self.l2 = CacheArray(1, device.l2_bytes, device.line_bytes,
+                             device.l2_ways)
+        self.report = KernelReport(device=device, launch=launch)
+        self.report.sm_instruction_slots = np.zeros(device.num_sms, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # memory
+    # ------------------------------------------------------------------ #
+
+    def read(self, buf: DeviceBuffer, indices: np.ndarray,
+             thread_ids: np.ndarray) -> np.ndarray:
+        """Lane-level gather ``buf.data[indices]`` with full memory modelling.
+
+        ``thread_ids`` are the global lane ids issuing each read (same
+        length as ``indices``).  Returns the gathered values.
+        """
+        indices = np.asarray(indices)
+        if len(indices) == 0:
+            return buf.data[indices]
+        lo = int(indices.min())
+        hi = int(indices.max())
+        if lo < 0 or hi >= len(buf.data):
+            raise KernelFault(
+                f"out-of-bounds read from {buf.name!r}: index range "
+                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        values = buf.data[indices]
+
+        addrs = buf.addresses(indices)
+        warp_ids = np.asarray(thread_ids) // self.warp_size
+        self.report.lane_reads += len(indices)
+
+        if self.l1 is not None:
+            batch = coalesce(warp_ids, addrs, self.device.line_bytes)
+            self.report.transactions += batch.transactions
+            sm_ids = self.warp_sm[batch.warp_ids]
+            hits = self.l1.access(sm_ids, batch.line_addrs)
+            self.report.l1_hits += int(hits.sum())
+            n_miss = int((~hits).sum())
+            self.report.l1_misses += n_miss
+            if n_miss:
+                miss_lines = batch.line_addrs[~hits]
+                self._probe_l2(miss_lines, self.device.line_bytes)
+        else:
+            # Uncached global loads: sector-granular, straight to L2.
+            batch = coalesce(warp_ids, addrs, self.device.sector_bytes)
+            self.report.transactions += batch.transactions
+            self._probe_l2(batch.line_addrs, self.device.sector_bytes)
+        return values
+
+    def _probe_l2(self, line_addrs: np.ndarray, fill_bytes: int) -> None:
+        zeros = np.zeros(len(line_addrs), dtype=np.int64)
+        l2_hits = self.l2.access(zeros, line_addrs)
+        n_hit = int(l2_hits.sum())
+        n_miss = len(line_addrs) - n_hit
+        self.report.l2_hits += n_hit
+        self.report.l2_misses += n_miss
+        self.report.l2_bytes += len(line_addrs) * fill_bytes
+        self.report.dram_bytes += n_miss * fill_bytes
+
+    def write(self, buf: DeviceBuffer, indices: np.ndarray,
+              values: np.ndarray, thread_ids: np.ndarray) -> None:
+        """Lane-level scatter; write traffic counts as DRAM bytes
+        (write-through, no write-allocate — adequate for the kernels here,
+        which write each output cell once)."""
+        indices = np.asarray(indices)
+        if len(indices) == 0:
+            return
+        lo = int(indices.min())
+        hi = int(indices.max())
+        if lo < 0 or hi >= len(buf.data):
+            raise KernelFault(
+                f"out-of-bounds write to {buf.name!r}: index range "
+                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        buf.data[indices] = values
+        addrs = buf.addresses(indices)
+        warp_ids = np.asarray(thread_ids) // self.warp_size
+        batch = coalesce(warp_ids, addrs, self.device.sector_bytes)
+        self.report.transactions += batch.transactions
+        self.report.dram_bytes += batch.transactions * self.device.sector_bytes
+
+    def atomic_add(self, buf: DeviceBuffer, indices: np.ndarray,
+                   values: np.ndarray, thread_ids: np.ndarray) -> None:
+        """Lane-level ``atomicAdd``.
+
+        Functionally an unordered scatter-add; traffic-wise each touched
+        sector is a read-modify-write through L2 (atomics resolve there
+        on Fermi/Maxwell), so it costs two sector transfers per
+        transaction plus serialization pressure that shows up as extra
+        transactions when lanes collide on an address.
+        """
+        indices = np.asarray(indices)
+        if len(indices) == 0:
+            return
+        lo = int(indices.min())
+        hi = int(indices.max())
+        if lo < 0 or hi >= len(buf.data):
+            raise KernelFault(
+                f"out-of-bounds atomic on {buf.name!r}: index range "
+                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        np.add.at(buf.data, indices, values)
+        addrs = buf.addresses(indices)
+        warp_ids = np.asarray(thread_ids) // self.warp_size
+        # Colliding lanes serialize: transactions at address (not line)
+        # granularity within the warp, sectors toward L2.
+        batch = coalesce(warp_ids, addrs, buf.itemsize)
+        sectors = coalesce(warp_ids, addrs, self.device.sector_bytes)
+        self.report.transactions += batch.transactions
+        self.report.l2_bytes += 2 * sectors.transactions * self.device.sector_bytes
+        self.report.dram_bytes += sectors.transactions * self.device.sector_bytes
+
+    # ------------------------------------------------------------------ #
+    # execution accounting
+    # ------------------------------------------------------------------ #
+
+    def end_step(self, kind: str, active_thread_ids: np.ndarray,
+                 instructions: int) -> None:
+        """Account one instruction-block executed by the warps owning
+        ``active_thread_ids`` (the lanes that were live in the block).
+
+        ``instructions`` is the warp-instruction count of the block —
+        every owning warp issues that many instructions regardless of how
+        many of its lanes are active (that's SIMT divergence).
+        """
+        if len(active_thread_ids) == 0:
+            return
+        w = np.asarray(active_thread_ids) // self.warp_size
+        if len(w) > 1 and np.any(w[1:] < w[:-1]):
+            w = np.sort(w)
+        # w is now non-decreasing: run boundaries replace np.unique.
+        starts = np.flatnonzero(np.concatenate(([True], w[1:] != w[:-1])))
+        warp_ids = w[starts]
+        lane_counts = np.diff(np.concatenate((starts, [len(w)])))
+        n_warps = len(warp_ids)
+        rep = self.report
+        rep.warp_steps[kind] = rep.warp_steps.get(kind, 0) + n_warps
+        rep.instruction_slots += n_warps * instructions
+        rep.total_warp_steps += n_warps
+        rep.active_lane_sum += int(lane_counts.sum())
+        np.add.at(rep.sm_instruction_slots, self.warp_sm[warp_ids], instructions)

@@ -1,0 +1,166 @@
+"""Conversion of measured work into simulated time.
+
+The split the paper's measurement protocol implies (Section IV):
+
+    total = H2D copy + preprocessing + counting kernel + result reduce + D2H
+
+Kernel time follows the standard throughput-roofline view of a
+memory-bound SIMT kernel — the slowest of three resources decides:
+
+* **compute**: warp-instruction slots through the SM issue ports,
+* **DRAM**: bytes that missed all caches through the memory bus,
+* **L2 / LSU**: transaction streams through the device-wide L2 and the
+  per-SM load/store ports — the resources the read-only cache
+  (Section III-D4) and the one-read merge loop (III-D3) relieve;
+
+all divided by an occupancy utilization factor: below the device's
+latency-hiding threshold of resident warps, dependent-load stalls leave
+the pipelines idle (the regime the Section III-C grid search avoids).
+
+All three inputs are *measured* by the engine; the constants
+(clock, issue width, bandwidth, efficiency, miss latency) come from the
+device spec.  The achieved-bandwidth figure the model reports for
+Table II is DRAM bytes divided by the resulting kernel time — an output,
+exactly like the profiler counter it reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.simt import KernelReport, LaunchConfig
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Simulated timing of one kernel launch.
+
+    Four throughput rooflines (the slowest decides), divided by the
+    occupancy utilization (below ``latency_hiding_warps`` resident warps
+    per SM, every resource idles proportionally — the regime the
+    Section III-C grid search tunes away from).
+    """
+
+    compute_ms: float
+    dram_ms: float
+    l2_ms: float
+    lsu_ms: float
+    utilization: float = 1.0
+
+    @property
+    def kernel_ms(self) -> float:
+        peak = max(self.compute_ms, self.dram_ms, self.l2_ms, self.lsu_ms)
+        return peak / max(self.utilization, 1e-9)
+
+    @property
+    def bound(self) -> str:
+        """Which resource decided the time
+        ("compute"/"dram"/"l2"/"lsu")."""
+        best = max(("compute", self.compute_ms), ("dram", self.dram_ms),
+                   ("l2", self.l2_ms), ("lsu", self.lsu_ms),
+                   key=lambda kv: kv[1])
+        return best[0]
+
+
+#: Warp-instruction estimates per kernel instruction block.  These mirror
+#: the compiled loop bodies: the merge iteration is a compare, two
+#: predicated increments, a predicated counter bump, two bound checks and
+#: a branch (~10 slots incl. the dependent load issue); edge setup is the
+#: six loads plus address arithmetic (~24 slots).
+MERGE_INSTRUCTIONS = 10
+SETUP_INSTRUCTIONS = 24
+
+#: Per-thrust-call launch/sync overhead, milliseconds.
+LAUNCH_OVERHEAD_MS = 0.008
+
+
+def time_kernel(report: KernelReport) -> KernelTiming:
+    """Roofline conversion of a :class:`KernelReport` into milliseconds."""
+    device: DeviceSpec = report.device
+    launch: LaunchConfig = report.launch
+
+    # Compute: the most-loaded SM decides.
+    slots = report.sm_instruction_slots
+    max_slots = int(slots.max()) if slots is not None and len(slots) else 0
+    compute_ms = max_slots / device.issue_width / device.clock_hz * 1e3
+
+    # DRAM throughput: bytes that missed every cache.
+    eff_bw = device.peak_bandwidth_gbs * device.dram_efficiency * 1e9
+    dram_ms = report.dram_bytes / eff_bw * 1e3
+
+    # L2 throughput: every L1 miss (or uncached access) is served by the
+    # device-wide L2 — the resource that makes the Section III-D4
+    # read-only cache matter.
+    l2_ms = report.l2_bytes / (device.l2_bandwidth_gbs * 1e9) * 1e3
+
+    # LSU throughput: each SM issues a bounded number of memory
+    # transactions per cycle (this is what makes the preliminary merge
+    # variant's extra loads expensive even when they hit L1).
+    lsu_cycles = (report.transactions / device.num_sms
+                  / device.lsu_transactions_per_cycle)
+    lsu_ms = lsu_cycles / device.clock_hz * 1e3
+
+    # Occupancy: with fewer resident warps than the latency-hiding
+    # threshold, dependent-load stalls leave every pipeline idle part of
+    # the time.
+    resident = max(launch.resident_warps_per_sm(device), 1)
+    utilization = min(1.0, resident / device.latency_hiding_warps)
+
+    return KernelTiming(compute_ms=compute_ms, dram_ms=dram_ms,
+                        l2_ms=l2_ms, lsu_ms=lsu_ms, utilization=utilization)
+
+
+def achieved_bandwidth_gbs(report: KernelReport, kernel_ms: float) -> float:
+    """DRAM throughput the kernel sustained (the Table II column)."""
+    if kernel_ms <= 0:
+        return 0.0
+    return report.dram_bytes / (kernel_ms * 1e-3) / 1e9
+
+
+# ---------------------------------------------------------------------- #
+# whole-run timeline
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timed pipeline step."""
+
+    name: str
+    ms: float
+    phase: str = "preprocess"   # "copy" | "preprocess" | "count" | "reduce"
+
+
+@dataclass
+class Timeline:
+    """Ordered record of a full pipeline run (one measurement window)."""
+
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def add(self, name: str, ms: float, phase: str = "preprocess") -> None:
+        if ms < 0:
+            raise ValueError(f"negative duration for {name}: {ms}")
+        self.events.append(TimelineEvent(name=name, ms=ms, phase=phase))
+
+    @property
+    def total_ms(self) -> float:
+        return sum(e.ms for e in self.events)
+
+    def phase_ms(self, phase: str) -> float:
+        return sum(e.ms for e in self.events if e.phase == phase)
+
+    @property
+    def preprocessing_fraction(self) -> float:
+        """Fraction of total time before the counting kernel — the
+        paper's Amdahl quantity (Section III-E reports 0.08–0.76)."""
+        total = self.total_ms
+        if total <= 0:
+            return 0.0
+        pre = sum(e.ms for e in self.events if e.phase in ("copy", "preprocess"))
+        return pre / total
+
+    def breakdown(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.phase] = out.get(e.phase, 0.0) + e.ms
+        return out

@@ -1,0 +1,32 @@
+"""Graph substrate: formats, generators, datasets, I/O and statistics.
+
+The central type is :class:`~repro.graphs.edgearray.EdgeArray` — the
+paper's input format (Section III-A): an unordered array of directed
+arcs in which every undirected edge appears exactly once in each
+direction, with no self-loops and no multi-edges.
+"""
+
+from repro.graphs.edgearray import EdgeArray
+from repro.graphs.csr import CSRGraph, ConversionCost
+from repro.graphs.validate import validate_edge_array
+from repro.graphs import generators
+from repro.graphs import datasets
+from repro.graphs import io
+from repro.graphs import metis
+from repro.graphs import mtx
+from repro.graphs import components
+from repro.graphs import stats
+
+__all__ = [
+    "EdgeArray",
+    "CSRGraph",
+    "ConversionCost",
+    "validate_edge_array",
+    "generators",
+    "datasets",
+    "io",
+    "metis",
+    "mtx",
+    "components",
+    "stats",
+]

@@ -1,0 +1,153 @@
+"""CSR ("adjacency list") representation and conversions to/from edge arrays.
+
+The paper argues (Section III-A) for taking an *edge array* as input
+because converting CSR→edge-array is a cheap single pass while
+edge-array→CSR requires a sort.  :class:`ConversionCost` captures exactly
+that asymmetry so the Section III-A experiment (E10 in DESIGN.md) can
+reproduce the 12 s / 14 s / 7 s trade-off shape.
+
+A :class:`CSRGraph` is what the paper calls the *node array* plus the
+concatenated, per-vertex-sorted adjacency lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.types import INDEX_DTYPE, VERTEX_DTYPE
+from repro.utils import as_int_array
+
+
+@dataclass(frozen=True)
+class ConversionCost:
+    """Work accounting for a format conversion.
+
+    Attributes
+    ----------
+    element_passes : int
+        How many elements were streamed sequentially (single-pass work).
+    sorted_elements : int
+        How many elements went through a comparison/radix sort
+        (each contributes O(log) or O(passes) work, the expensive part).
+    """
+
+    element_passes: int
+    sorted_elements: int
+
+    def __add__(self, other: "ConversionCost") -> "ConversionCost":
+        return ConversionCost(self.element_passes + other.element_passes,
+                              self.sorted_elements + other.sorted_elements)
+
+
+class CSRGraph:
+    """Compressed sparse row adjacency structure.
+
+    Parameters
+    ----------
+    node_ptr : int32 array, length ``num_nodes + 1``
+        ``node_ptr[v] .. node_ptr[v+1]`` bounds vertex ``v``'s slice of
+        ``adj`` (the paper's *node array*, preprocessing step 4).
+    adj : int32 array, length = number of arcs
+        Concatenated adjacency lists; each vertex's slice sorted ascending.
+    """
+
+    __slots__ = ("node_ptr", "adj")
+
+    def __init__(self, node_ptr, adj, check: bool = True):
+        self.node_ptr = as_int_array(node_ptr, INDEX_DTYPE)
+        self.adj = as_int_array(adj, VERTEX_DTYPE)
+        if check:
+            self._check()
+
+    def _check(self) -> None:
+        ptr = self.node_ptr
+        if len(ptr) == 0:
+            raise GraphFormatError("node_ptr must have at least one entry")
+        if ptr[0] != 0 or ptr[-1] != len(self.adj):
+            raise GraphFormatError(
+                f"node_ptr must start at 0 and end at len(adj)={len(self.adj)}, "
+                f"got [{int(ptr[0])}, {int(ptr[-1])}]"
+            )
+        if np.any(np.diff(ptr) < 0):
+            raise GraphFormatError("node_ptr must be non-decreasing")
+        # Per-vertex slices sorted ascending: adjacent within-slice pairs only.
+        if len(self.adj) > 1:
+            rising = self.adj[1:] >= self.adj[:-1]
+            # positions where a new slice starts (no order constraint across slices)
+            starts = np.zeros(len(self.adj), dtype=bool)
+            starts[ptr[1:-1]] = True
+            bad = ~(rising | starts[1:])
+            if np.any(bad):
+                raise GraphFormatError("an adjacency slice is not sorted ascending")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.adj)
+
+    def degree(self, v: int) -> int:
+        """Out-degree of vertex ``v`` (cheap node-array subtraction, as in
+        preprocessing step 5)."""
+        return int(self.node_ptr[v + 1] - self.node_ptr[v])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.node_ptr).astype(np.int64)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor slice of ``v`` (a view, not a copy)."""
+        return self.adj[self.node_ptr[v]:self.node_ptr[v + 1]]
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(num_nodes={self.num_nodes}, num_arcs={self.num_arcs})"
+
+
+# ---------------------------------------------------------------------- #
+# conversions
+# ---------------------------------------------------------------------- #
+
+def edge_array_to_csr(graph) -> tuple[CSRGraph, ConversionCost]:
+    """Edge array → CSR.  Requires a sort (the expensive direction).
+
+    Sorts arcs by (first, second) — after which the arc array *is* the
+    concatenated adjacency lists — then builds the node array with one
+    scatter pass (preprocessing steps 3–4 of the paper, on the host).
+    """
+    m = graph.num_arcs
+    order = np.lexsort((graph.second, graph.first))
+    adj = graph.second[order]
+    node_ptr = build_node_ptr(graph.first[order], graph.num_nodes)
+    cost = ConversionCost(element_passes=2 * m, sorted_elements=m)
+    return CSRGraph(node_ptr, adj, check=False), cost
+
+
+def csr_to_edge_array(csr: CSRGraph):
+    """CSR → edge array.  A single expansion pass (the cheap direction)."""
+    from repro.graphs.edgearray import EdgeArray
+
+    degrees = np.diff(csr.node_ptr)
+    first = np.repeat(np.arange(csr.num_nodes, dtype=VERTEX_DTYPE), degrees)
+    graph = EdgeArray(first, csr.adj.copy(), num_nodes=csr.num_nodes, check=False)
+    cost = ConversionCost(element_passes=csr.num_arcs, sorted_elements=0)
+    return graph, cost
+
+
+def build_node_ptr(sorted_first: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Build the node array from the sorted arc-source column.
+
+    Equivalent to the paper's preprocessing step 4 (the kernel where
+    thread *k* compares sources of arcs *k* and *k+1* and scatters run
+    boundaries, filling empty adjacency lists too) — expressed here as a
+    vectorized cumulative count.
+    """
+    counts = np.bincount(sorted_first, minlength=num_nodes)
+    node_ptr = np.zeros(num_nodes + 1, dtype=INDEX_DTYPE)
+    node_ptr[1:] = np.cumsum(counts)
+    return node_ptr

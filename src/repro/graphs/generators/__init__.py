@@ -1,0 +1,30 @@
+"""Synthetic graph generators (all NumPy-vectorized, seed-deterministic).
+
+These provide both the paper's synthetic workloads (Kronecker R-MAT,
+Barabási–Albert, Watts–Strogatz) and the degree-skew-matched stand-ins
+for the SNAP / DIMACS10 real-world graphs that are unavailable offline
+(see DESIGN.md §2).
+"""
+
+from repro.graphs.generators.rmat import rmat, RMATParams
+from repro.graphs.generators.barabasi_albert import barabasi_albert
+from repro.graphs.generators.watts_strogatz import watts_strogatz
+from repro.graphs.generators.erdos_renyi import erdos_renyi_gnm
+from repro.graphs.generators.configuration import configuration_model, powerlaw_degree_sequence
+from repro.graphs.generators.clique_cover import clique_cover
+from repro.graphs.generators.misc import complete_graph, cycle_graph, star_graph, path_graph
+
+__all__ = [
+    "rmat",
+    "RMATParams",
+    "barabasi_albert",
+    "watts_strogatz",
+    "erdos_renyi_gnm",
+    "configuration_model",
+    "powerlaw_degree_sequence",
+    "clique_cover",
+    "complete_graph",
+    "cycle_graph",
+    "star_graph",
+    "path_graph",
+]

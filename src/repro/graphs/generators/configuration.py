@@ -1,0 +1,95 @@
+"""Configuration-model generator and power-law degree sequences.
+
+Used to build degree-skew-matched stand-ins for the paper's real-world
+graphs (SNAP / DIMACS10 are unreachable offline; see DESIGN.md §2): we
+target each graph's node count, edge count and an approximate power-law
+exponent, then wire stubs uniformly at random.
+
+The simple-graph projection (drop loops and multi-edges) is the standard
+"erased configuration model"; the edge deficit it introduces is a few
+percent for the exponents used here and is reported by the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graphs.edgearray import EdgeArray
+from repro.utils import rng_from
+
+
+def powerlaw_degree_sequence(n: int,
+                             target_edges: int,
+                             exponent: float = 2.5,
+                             min_degree: int = 1,
+                             seed=None) -> np.ndarray:
+    """Draw a degree sequence ~ Zipf(``exponent``) scaled to sum ≈ 2·edges.
+
+    The raw Zipf draw is rescaled multiplicatively, then adjusted by ±1
+    on random entries so the sum is exactly even and close to the target
+    stub count.  Degrees are capped at ``n - 1`` (simple-graph bound).
+    """
+    if n <= 1:
+        raise WorkloadError(f"need n > 1, got {n}")
+    if exponent <= 1.0:
+        raise WorkloadError(f"power-law exponent must be > 1, got {exponent}")
+    rng = rng_from(seed)
+    target_stubs = 2 * target_edges
+
+    raw = rng.zipf(exponent, size=n).astype(np.float64)
+    raw = np.minimum(raw, n - 1)
+    scale = target_stubs / raw.sum()
+    deg = np.maximum(np.round(raw * scale).astype(np.int64), min_degree)
+    deg = np.minimum(deg, n - 1)
+
+    # Nudge the total to exactly target_stubs (and even), respecting caps.
+    # Vectorized: each round spreads the remaining difference over distinct
+    # random eligible vertices, ±1 each.
+    diff = target_stubs - int(deg.sum())
+    guard = 0
+    while diff != 0 and guard < 64:
+        step = 1 if diff > 0 else -1
+        eligible = np.flatnonzero(deg < n - 1) if step > 0 else np.flatnonzero(deg > min_degree)
+        if len(eligible) == 0:
+            break
+        take = min(abs(diff), len(eligible))
+        idx = rng.choice(eligible, size=take, replace=False)
+        deg[idx] += step
+        diff -= step * take
+        guard += 1
+    if deg.sum() % 2:  # force even stub count
+        i = int(np.argmax(deg < n - 1))
+        deg[i] += 1
+    return deg
+
+
+def configuration_model(degrees, seed=None) -> EdgeArray:
+    """Erased configuration model: random matching of degree stubs.
+
+    Parameters
+    ----------
+    degrees : array-like of int
+        Desired degree per vertex; the sum must be even.
+
+    Returns
+    -------
+    EdgeArray
+        Simple graph; loops/multi-edges created by the matching are
+        erased, so realized degrees can fall slightly short.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.ndim != 1:
+        raise WorkloadError("degrees must be a 1-D sequence")
+    if (degrees < 0).any():
+        raise WorkloadError("degrees must be non-negative")
+    total = int(degrees.sum())
+    if total % 2:
+        raise WorkloadError(f"degree sum must be even, got {total}")
+    n = len(degrees)
+    rng = rng_from(seed)
+
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    half = total // 2
+    return EdgeArray.from_undirected(stubs[:half], stubs[half:], num_nodes=n)

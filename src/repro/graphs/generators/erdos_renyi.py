@@ -1,0 +1,58 @@
+"""Erdős–Rényi G(n, m) generator.
+
+Not a paper workload, but the canonical null model: tests use it for
+property checks (the expected triangle count of G(n, m) is known in
+closed form) and benches use it as a degree-uniform contrast to R-MAT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graphs.edgearray import EdgeArray
+from repro.utils import rng_from
+
+
+def erdos_renyi_gnm(n: int, num_edges: int, seed=None) -> EdgeArray:
+    """Sample a simple graph with ``n`` vertices and exactly ``num_edges`` edges.
+
+    Pairs are drawn by batched rejection on packed 64-bit codes, keeping
+    first occurrences in draw order — O(num_edges) expected work below
+    ~50% density; above it we enumerate all pairs and subsample.
+    """
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    max_edges = n * (n - 1) // 2
+    if num_edges > max_edges:
+        raise WorkloadError(f"{num_edges} edges impossible on {n} vertices "
+                            f"(max {max_edges})")
+    rng = rng_from(seed)
+    if num_edges == 0:
+        return EdgeArray.empty(num_nodes=n)
+
+    if num_edges > max_edges // 2:
+        # Dense regime: choose directly among all pairs without replacement.
+        iu, iv = np.triu_indices(n, k=1)
+        pick = rng.choice(max_edges, size=num_edges, replace=False)
+        return EdgeArray.from_undirected(iu[pick], iv[pick], num_nodes=n)
+
+    accepted = np.empty(0, dtype=np.uint64)
+    while len(accepted) < num_edges:
+        need = num_edges - len(accepted)
+        batch = int(need * 1.2) + 16
+        u = rng.integers(0, n, size=batch, dtype=np.int64)
+        v = rng.integers(0, n, size=batch, dtype=np.int64)
+        keep = u != v
+        u, v = u[keep], v[keep]
+        lo = np.minimum(u, v).astype(np.uint64)
+        hi = np.maximum(u, v).astype(np.uint64)
+        codes = np.concatenate([accepted, (hi << np.uint64(32)) | lo])
+        # np.unique(return_index) keeps each code's first position; sorting
+        # those positions restores draw order so truncation is unbiased.
+        _, first_pos = np.unique(codes, return_index=True)
+        accepted = codes[np.sort(first_pos)][:num_edges]
+
+    lo = (accepted & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    hi = (accepted >> np.uint64(32)).astype(np.int64)
+    return EdgeArray.from_undirected(lo, hi, num_nodes=n)

@@ -1,0 +1,51 @@
+"""Deterministic toy graphs with closed-form triangle counts.
+
+These anchor the test suite: ``K_n`` has C(n,3) triangles, cycles and
+paths have none (C_3 aside), stars have none.  Every counting backend is
+validated against these before anything stochastic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graphs.edgearray import EdgeArray
+
+
+def complete_graph(n: int) -> EdgeArray:
+    """K_n — exactly ``n·(n-1)·(n-2)/6`` triangles."""
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    if n < 2:
+        return EdgeArray.empty(num_nodes=n)
+    u, v = np.triu_indices(n, k=1)
+    return EdgeArray.from_undirected(u, v, num_nodes=n)
+
+
+def cycle_graph(n: int) -> EdgeArray:
+    """C_n — one triangle when ``n == 3``, zero otherwise."""
+    if n < 3:
+        raise WorkloadError(f"cycle needs n >= 3, got {n}")
+    u = np.arange(n, dtype=np.int64)
+    return EdgeArray.from_undirected(u, (u + 1) % n, num_nodes=n)
+
+
+def path_graph(n: int) -> EdgeArray:
+    """P_n — zero triangles."""
+    if n < 1:
+        raise WorkloadError(f"path needs n >= 1, got {n}")
+    u = np.arange(n - 1, dtype=np.int64)
+    return EdgeArray.from_undirected(u, u + 1, num_nodes=n) if n > 1 else EdgeArray.empty(1)
+
+
+def star_graph(n: int) -> EdgeArray:
+    """Star with one hub and ``n - 1`` leaves — zero triangles, maximal
+    degree skew (the forward orientation sends every edge leaf→hub)."""
+    if n < 1:
+        raise WorkloadError(f"star needs n >= 1, got {n}")
+    if n == 1:
+        return EdgeArray.empty(1)
+    leaves = np.arange(1, n, dtype=np.int64)
+    hub = np.zeros(n - 1, dtype=np.int64)
+    return EdgeArray.from_undirected(hub, leaves, num_nodes=n)

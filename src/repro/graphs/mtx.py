@@ -1,0 +1,85 @@
+"""Matrix Market (``.mtx``) graph I/O.
+
+The SuiteSparse collection redistributes the paper's real-world graphs
+(com-Orkut, soc-LiveJournal1, coPapers*) as Matrix Market files; this
+reader/writer makes the library a drop-in consumer of those archives.
+Only the ``matrix coordinate pattern symmetric`` flavor is handled —
+that is how undirected unweighted graphs ship; ``general`` symmetric
+pairs and ``integer``/``real`` weights (ignored) are tolerated on read.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.edgearray import EdgeArray
+
+
+def write_mtx(graph: EdgeArray, path: str | os.PathLike,
+              comment: str = "written by repro") -> None:
+    """Write as ``coordinate pattern symmetric`` (lower triangle, 1-based)."""
+    mask = graph.first > graph.second          # lower-triangular entries
+    rows = graph.first[mask] + 1
+    cols = graph.second[mask] + 1
+    with open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        fh.write(f"% {comment}\n")
+        fh.write(f"{graph.num_nodes} {graph.num_nodes} {len(rows)}\n")
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            fh.write(f"{r} {c}\n")
+
+
+def read_mtx(path: str | os.PathLike) -> EdgeArray:
+    """Read a Matrix Market graph into an edge array.
+
+    Accepts pattern/integer/real coordinate matrices, symmetric or
+    general; weights and the diagonal are dropped, duplicate entries and
+    both-orientation listings collapse.
+    """
+    with open(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError(f"{path}: missing MatrixMarket banner")
+        fields = header.strip().lower().split()
+        if len(fields) < 5 or fields[1] != "matrix" or fields[2] != "coordinate":
+            raise GraphFormatError(
+                f"{path}: only 'matrix coordinate' files are supported, "
+                f"got {header.strip()!r}")
+        value_type = fields[3]
+        if value_type not in ("pattern", "integer", "real"):
+            raise GraphFormatError(
+                f"{path}: unsupported value type {value_type!r}")
+
+        size_line = None
+        while size_line is None:
+            line = fh.readline()
+            if not line:
+                raise GraphFormatError(f"{path}: no size line")
+            stripped = line.strip()
+            if stripped and not stripped.startswith("%"):
+                size_line = stripped
+        parts = size_line.split()
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"{path}: size line must be 'rows cols nnz', got "
+                f"{size_line!r}")
+        rows, cols, nnz = map(int, parts)
+        if rows != cols:
+            raise GraphFormatError(
+                f"{path}: adjacency matrices must be square, got "
+                f"{rows}x{cols}")
+
+        data = np.loadtxt(fh, comments="%", ndmin=2)
+    if data.size == 0:
+        return EdgeArray.empty(rows)
+    if data.shape[0] != nnz:
+        raise GraphFormatError(
+            f"{path}: header promises {nnz} entries, found {data.shape[0]}")
+    u = data[:, 0].astype(np.int64) - 1
+    v = data[:, 1].astype(np.int64) - 1
+    if u.min() < 0 or v.min() < 0 or u.max() >= rows or v.max() >= rows:
+        raise GraphFormatError(f"{path}: entry index out of range")
+    return EdgeArray.from_undirected(u, v, num_nodes=rows)

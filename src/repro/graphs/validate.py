@@ -1,0 +1,62 @@
+"""Validation of the edge-array format contract (paper Section III-A).
+
+The contract: vertex ids in range, no self-loops, no duplicate arcs, and
+perfect symmetry — arc ``(u, v)`` present iff ``(v, u)`` present.  The
+counting pipeline silently assumes all of this (e.g. the forward
+orientation step relies on every edge being seen from both endpoints), so
+violations must be caught at the boundary, not deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.types import pack_edges
+
+
+def validate_edge_array(graph) -> None:
+    """Raise :class:`GraphFormatError` unless ``graph`` satisfies the contract.
+
+    Runs in O(m log m) (one sort); cheap relative to any counting run.
+    """
+    first, second, n = graph.first, graph.second, graph.num_nodes
+
+    if len(first) != len(second):
+        raise GraphFormatError("endpoint arrays differ in length")
+
+    if len(first) == 0:
+        return
+
+    if first.min() < 0 or second.min() < 0:
+        raise GraphFormatError("negative vertex id")
+    if first.max() >= n or second.max() >= n:
+        raise GraphFormatError(
+            f"vertex id out of range: max id {int(max(first.max(), second.max()))} "
+            f"with num_nodes={n}"
+        )
+
+    if np.any(first == second):
+        bad = int(np.argmax(first == second))
+        raise GraphFormatError(f"self-loop at arc index {bad}: ({int(first[bad])}, {int(second[bad])})")
+
+    packed = np.sort(pack_edges(first, second))
+    if len(packed) > 1 and np.any(packed[1:] == packed[:-1]):
+        raise GraphFormatError("duplicate arc (multi-edge)")
+
+    # Symmetry: the multiset of (u,v) must equal the multiset of (v,u).
+    reverse = np.sort(pack_edges(second, first))
+    if not np.array_equal(packed, reverse):
+        raise GraphFormatError(
+            "edge array is not symmetric: some undirected edge does not "
+            "appear in both directions"
+        )
+
+
+def is_valid_edge_array(graph) -> bool:
+    """Boolean form of :func:`validate_edge_array`."""
+    try:
+        validate_edge_array(graph)
+    except GraphFormatError:
+        return False
+    return True

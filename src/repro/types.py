@@ -1,0 +1,79 @@
+"""Shared dtype aliases and small value types.
+
+The paper stores vertex identifiers as 32-bit signed integers and packs an
+edge into a single 64-bit integer for the radix-sort optimization
+(Section III-D2).  Centralizing the dtypes here keeps every module's
+arrays layout-compatible and makes the 64-bit packing trick explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: dtype of a vertex identifier (CUDA ``int``).
+VERTEX_DTYPE = np.int32
+
+#: dtype of an edge index / node-array entry (CUDA ``int``; the paper's
+#: graphs stay below 2^31 arcs).
+INDEX_DTYPE = np.int32
+
+#: dtype of a packed edge — two vertex ids in one machine word, the
+#: Section III-D2 sort representation.
+PACKED_DTYPE = np.uint64
+
+#: dtype of the per-thread triangle counters (CUDA ``uint64_t``).
+COUNT_DTYPE = np.uint64
+
+#: Bytes per vertex identifier.
+VERTEX_BYTES = np.dtype(VERTEX_DTYPE).itemsize
+
+
+def pack_edges(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Pack two int32 vertex arrays into one uint64 array.
+
+    Matches the layout the paper obtains by reinterpreting an array of
+    ``{int u, int v;}`` structs as 64-bit little-endian integers: the
+    *first* struct member lands in the low 32 bits, so sorting the packed
+    words orders edges **by the second vertex, then by the first** —
+    exactly the "slightly different ordering" the paper warns about in
+    Section III-D2.
+    """
+    lo = first.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+    hi = second.astype(np.uint64) << np.uint64(32)
+    return hi | lo
+
+
+def unpack_edges(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_edges`: return ``(first, second)`` int32 arrays."""
+    first = (packed & np.uint64(0xFFFFFFFF)).astype(VERTEX_DTYPE)
+    second = (packed >> np.uint64(32)).astype(VERTEX_DTYPE)
+    return first, second
+
+
+@dataclass(frozen=True)
+class TriangleCount:
+    """Result of a counting run.
+
+    Attributes
+    ----------
+    triangles : int
+        Number of triangles in the undirected input graph (each triangle
+        counted exactly once).
+    elapsed_ms : float
+        Simulated wall-clock milliseconds under the backend's timing
+        model, measured with the paper's protocol (host→device copy of the
+        edge array through copy-back of the result).  ``0.0`` for backends
+        with no timing model.
+    breakdown : dict
+        Optional per-phase timing/work breakdown (keys are backend
+        specific, e.g. ``"preprocess_ms"``, ``"count_ms"``, ``"dram_bytes"``).
+    """
+
+    triangles: int
+    elapsed_ms: float = 0.0
+    breakdown: dict | None = None
+
+    def __int__(self) -> int:  # allow ``int(result)``
+        return self.triangles

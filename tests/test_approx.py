@@ -1,0 +1,71 @@
+"""Unit tests for the approximate counters (Section V related work)."""
+
+import pytest
+
+from repro.cpu.approx import birthday_paradox_count, doulion_count
+from repro.cpu.matmul import matmul_count
+from repro.errors import ReproError
+from repro.graphs.generators import clique_cover, complete_graph
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    """Triangle-rich graph where relative estimation error is small."""
+    return clique_cover(400, 120, mean_group_size=14, seed=3)
+
+
+class TestDoulion:
+    def test_p_one_is_exact(self, small_ba, oracle):
+        res = doulion_count(small_ba, p=1.0, seed=1)
+        assert res.estimated_triangles == oracle(small_ba)
+
+    def test_unbiased_ballpark(self, dense_graph):
+        truth = matmul_count(dense_graph).triangles
+        estimates = [doulion_count(dense_graph, p=0.5, seed=s).estimate
+                     for s in range(5)]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.25)
+
+    def test_sparsification_reduces_edges(self, small_ba):
+        res = doulion_count(small_ba, p=0.3, seed=2)
+        assert res.kept_edges < small_ba.num_edges * 0.45
+        assert res.kept_edges > small_ba.num_edges * 0.15
+
+    def test_invalid_p(self, k5):
+        with pytest.raises(ReproError):
+            doulion_count(k5, p=0.0)
+        with pytest.raises(ReproError):
+            doulion_count(k5, p=1.5)
+
+    def test_scaling_factor(self, k5):
+        res = doulion_count(k5, p=0.5, seed=4)
+        assert res.estimate == pytest.approx(res.sparsified_triangles / 0.125)
+
+
+class TestBirthdayParadox:
+    def test_complete_graph_transitivity(self):
+        """K_n has transitivity exactly 1; the estimator must see ~1."""
+        g = complete_graph(40)
+        res = birthday_paradox_count(g, edge_reservoir=300,
+                                     wedge_reservoir=300, seed=1)
+        assert res.transitivity_estimate == pytest.approx(1.0, abs=0.15)
+
+    def test_triangle_estimate_ballpark(self, dense_graph):
+        truth = matmul_count(dense_graph).triangles
+        res = birthday_paradox_count(dense_graph, edge_reservoir=800,
+                                     wedge_reservoir=800, seed=2)
+        assert truth / 4 < res.triangle_estimate < truth * 4
+
+    def test_triangle_free_graph(self, triangle_free):
+        res = birthday_paradox_count(triangle_free, edge_reservoir=100,
+                                     wedge_reservoir=100, seed=3)
+        assert res.transitivity_estimate == 0.0
+        assert res.estimated_triangles == 0
+
+    def test_tiny_stream(self, triangle):
+        res = birthday_paradox_count(triangle, seed=4)
+        assert res.triangle_estimate >= 0.0
+
+    def test_invalid_reservoirs(self, k5):
+        with pytest.raises(ReproError):
+            birthday_paradox_count(k5, edge_reservoir=1)

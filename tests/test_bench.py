@@ -1,0 +1,231 @@
+"""Unit tests for the benchmark harness (runner, tables, figures,
+calibration, experiments, CLI) on tiny workload scales."""
+
+import numpy as np
+import pytest
+
+from repro.bench import calibration, figures, tables
+from repro.bench.experiments import (AblationResult, amdahl_experiment,
+                                     baseline_experiment, grid_search,
+                                     input_format_experiment)
+from repro.bench.runner import RowResult, run_workload, scaled_device
+from repro.errors import ReproError
+from repro.graphs.datasets import get
+from repro.gpusim.device import GTX_980, TESLA_C2050
+
+#: Tiny scales so each runner call stays ~a second.
+TINY = {"ba": 1 / 512, "ws": 1 / 1024, "kron17": 1 / 512}
+
+
+@pytest.fixture(scope="module")
+def ba_row():
+    return run_workload("ba", scale=TINY["ba"])
+
+
+@pytest.fixture(scope="module")
+def ws_row():
+    return run_workload("ws", scale=TINY["ws"], configs=("gtx980",))
+
+
+class TestRunner:
+    def test_row_has_all_configs(self, ba_row):
+        assert ba_row.c2050 is not None
+        assert ba_row.quad is not None
+        assert ba_row.gtx980 is not None
+        assert ba_row.triangles > 0
+
+    def test_speedup_definitions(self, ba_row):
+        assert ba_row.c2050_speedup == pytest.approx(
+            ba_row.cpu_ms / ba_row.c2050.total_ms)
+        assert ba_row.quad_speedup == pytest.approx(
+            ba_row.c2050.total_ms / ba_row.quad.total_ms)
+
+    def test_partial_configs(self, ws_row):
+        assert ws_row.c2050 is None
+        assert ws_row.c2050_speedup == 0.0
+        assert ws_row.gtx980_speedup > 0
+
+    def test_table2_columns(self, ws_row):
+        assert 0 < ws_row.cache_hit_pct < 100
+        assert ws_row.bandwidth_gbs > 0
+
+    def test_scaled_device_ratio(self):
+        w = get("ba")
+        g = w.build(scale=TINY["ba"], seed=0)
+        dev = scaled_device(TESLA_C2050, g, w)
+        ratio = g.num_arcs / w.paper.arcs
+        assert dev.memory_bytes == pytest.approx(
+            TESLA_C2050.memory_bytes * ratio, rel=0.01)
+
+    def test_scaled_device_rejects_oversized(self):
+        w = get("ba")
+        g = get("ws").build(scale=1 / 16, seed=0)  # bigger than ba's paper? no
+        # construct an impossible ratio by lying about the workload
+        from repro.graphs.edgearray import EdgeArray
+        import numpy as np
+        big = get("kron16")
+        huge = get("ws").build(scale=1 / 8, seed=0)
+        if huge.num_arcs > big.paper.arcs:
+            with pytest.raises(ReproError):
+                scaled_device(TESLA_C2050, huge, big)
+
+
+class TestTables:
+    def test_render_table1(self, ba_row):
+        text = tables.render_table1([ba_row])
+        assert "Barabási–Albert" in text
+        assert "paper" in text.lower() or "(paper)" in text
+
+    def test_render_table2(self, ba_row):
+        text = tables.render_table2([ba_row])
+        assert "hit %" in text
+
+    def test_csv(self, ba_row):
+        csv = tables.table1_csv([ba_row])
+        lines = csv.strip().split("\n")
+        assert len(lines) == 2
+        assert len(lines[0].split(",")) == len(lines[1].split(","))
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def kron_rows(self):
+        return [run_workload(f"kron{k}", scale=1 / 2048,
+                             configs=("c2050", "quad", "gtx980"))
+                for k in (18, 19, 20)]
+
+    def test_series_points_sorted(self, kron_rows):
+        pts = figures.series_points(kron_rows)
+        for series in pts.values():
+            xs = [x for x, _ in series]
+            assert xs == sorted(xs)
+
+    def test_render(self, kron_rows):
+        text = figures.render_figure1(kron_rows)
+        assert "Figure 1" in text
+        assert "G" in text  # GTX series mark
+
+    def test_csv(self, kron_rows):
+        csv = figures.figure1_csv(kron_rows)
+        assert csv.count("\n") == 4  # header + 3 rows
+
+    def test_empty(self):
+        assert "(no data)" in figures.render_figure1([])
+
+    def test_shape_check_runs(self, kron_rows):
+        problems = figures.check_figure1_shape(kron_rows)
+        assert isinstance(problems, list)
+
+
+class TestCalibration:
+    def test_band(self):
+        band = calibration.Band(10.0, 20.0, slack=2.0)
+        assert band.check(5.0)      # 10/2
+        assert band.check(40.0)     # 20*2
+        assert not band.check(4.9)
+        assert not band.check(41.0)
+
+    def test_check_row_returns_list(self, ba_row):
+        assert isinstance(calibration.check_row(ba_row), list)
+
+    def test_check_daggers_flags_mismatch(self, ba_row):
+        problems = calibration.check_daggers([ba_row])
+        # ba never daggers in the paper; at tiny scale it shouldn't either
+        assert problems == []
+
+    def test_provenance_documented(self):
+        keys = {field for _, field in calibration.PROVENANCE}
+        assert any("ns_per_merge_step" in k for k in keys)
+
+
+class TestExperiments:
+    def test_ablation_result_math(self):
+        r = AblationResult("x", "III-D9", baseline_ms=1.0, ablated_ms=1.5,
+                           paper_speedup_lo=1.2, paper_speedup_hi=1.6)
+        assert r.measured_speedup == 1.5
+        assert "III-D9" in r.summary()
+
+    def test_grid_search_tiny(self):
+        g = get("kron17").build(scale=TINY["kron17"], seed=0)
+        grid = grid_search(g, tpb_values=(32, 64), bps_values=(1, 8))
+        assert (64, 8) in grid.points
+        assert grid.points[(32, 1)] > grid.points[(64, 8)]
+        assert "paper's choice" in grid.summary()
+
+    def test_input_format_tiny(self):
+        g = get("ba").build(scale=TINY["ba"], seed=0)
+        r = input_format_experiment(g)
+        assert r.adjacency_input_ms < r.edge_array_input_ms
+        assert r.conversion_ms > 0
+
+    def test_amdahl_tiny(self):
+        g = get("kron17").build(scale=TINY["kron17"], seed=0)
+        point = amdahl_experiment(g, name="kron17")
+        assert 0 < point.preprocessing_fraction < 1
+        assert 1.0 <= point.amdahl_limit <= 4.0
+
+    def test_baseline_tiny(self):
+        g = get("kron17").build(scale=TINY["kron17"], seed=0)
+        r = baseline_experiment(g)
+        assert r.triangles > 0
+        assert r.forward_ms > 0
+
+
+class TestDaggerStability:
+    """The headline † pattern must not hinge on generator luck: across
+    seeds, Orkut overflows the scaled C2050 and fits the scaled GTX 980
+    (preprocessing-only runs — the decision is made before the kernel)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_orkut_dagger_stable(self, seed):
+        from repro.core.preprocess import preprocess
+        from repro.gpusim.device import GTX_980
+        from repro.gpusim.memory import DeviceMemory
+        from repro.gpusim.timing import Timeline
+
+        w = get("orkut")
+        g = w.build(seed=seed)
+        c2050 = scaled_device(TESLA_C2050, g, w)
+        gtx = scaled_device(GTX_980, g, w)
+        pre_c = preprocess(g, c2050, DeviceMemory(c2050), Timeline())
+        pre_g = preprocess(g, gtx, DeviceMemory(gtx), Timeline())
+        assert pre_c.used_cpu_fallback, f"seed {seed}: C2050 should dagger"
+        assert not pre_g.used_cpu_fallback, f"seed {seed}: GTX should fit"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_livejournal_never_daggers(self, seed):
+        from repro.core.preprocess import preprocess
+        from repro.gpusim.memory import DeviceMemory
+        from repro.gpusim.timing import Timeline
+
+        w = get("livejournal")
+        g = w.build(seed=seed)
+        c2050 = scaled_device(TESLA_C2050, g, w)
+        pre = preprocess(g, c2050, DeviceMemory(c2050), Timeline())
+        assert not pre.used_cpu_fallback
+
+
+class TestCli:
+    def test_help(self, capsys):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main(["--help"])
+
+    def test_rejects_unknown_command(self):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_baselines_command_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.125")
+        from repro.bench.cli import main
+        assert main(["baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "exact baselines" in out
+
+    def test_csv_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.125")
+        from repro.bench.cli import main
+        assert main(["table1", "-w", "kron16", "--no-quad",
+                     "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()

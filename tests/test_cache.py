@@ -1,0 +1,132 @@
+"""Unit tests for the set-associative LRU cache model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gpusim.cache import CacheArray, CacheStats
+
+
+def _addrs(*lines, line_bytes=128):
+    return np.array([ln * line_bytes for ln in lines], dtype=np.int64)
+
+
+def _zeros(n):
+    return np.zeros(n, dtype=np.int64)
+
+
+class TestBasics:
+    def test_geometry(self):
+        c = CacheArray(num_instances=2, capacity_bytes=4096, line_bytes=128,
+                       ways=4)
+        assert c.sets == 8
+        assert c.num_instances == 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError, match="too small"):
+            CacheArray(1, 64, 128, 4)
+
+    def test_instance_count_rejected(self):
+        with pytest.raises(ReproError):
+            CacheArray(0, 4096, 128, 4)
+
+    def test_cold_miss_then_hit(self):
+        c = CacheArray(1, 4096, 128, 4)
+        first = c.access(_zeros(1), _addrs(5))
+        assert not first[0]
+        second = c.access(_zeros(1), _addrs(5))
+        assert second[0]
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        c = CacheArray(1, 4096, 128, 4)
+        c.access(_zeros(1), np.array([1000], dtype=np.int64))
+        hit = c.access(_zeros(1), np.array([1004], dtype=np.int64))
+        assert hit[0]
+
+    def test_instances_are_independent(self):
+        c = CacheArray(2, 4096, 128, 4)
+        c.access(np.array([0]), _addrs(5))
+        miss = c.access(np.array([1]), _addrs(5))
+        assert not miss[0]
+
+    def test_reset(self):
+        c = CacheArray(1, 4096, 128, 4)
+        c.access(_zeros(1), _addrs(5))
+        c.reset()
+        assert c.stats.requests == 0
+        assert not c.access(_zeros(1), _addrs(5))[0]
+        assert c.resident_lines() == 1
+
+    def test_length_mismatch(self):
+        c = CacheArray(1, 4096, 128, 4)
+        with pytest.raises(ReproError):
+            c.access(_zeros(2), _addrs(1))
+
+    def test_empty_batch(self):
+        c = CacheArray(1, 4096, 128, 4)
+        assert len(c.access(_zeros(0), _addrs())) == 0
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        # 1 set, 2 ways: lines mapping to the same set evict LRU-first.
+        c = CacheArray(1, 256, 128, 2)  # sets=1
+        c.access(_zeros(1), _addrs(0))      # miss, insert 0
+        c.access(_zeros(1), _addrs(1))      # miss, insert 1
+        c.access(_zeros(1), _addrs(0))      # hit, 0 becomes MRU
+        c.access(_zeros(1), _addrs(2))      # miss, evicts 1 (LRU)
+        assert c.access(_zeros(1), _addrs(0))[0]       # still resident
+        assert not c.access(_zeros(1), _addrs(1))[0]   # was evicted
+
+    def test_capacity_working_set_fits(self):
+        c = CacheArray(1, 4096, 128, 4)  # 32 lines
+        lines = list(range(32))
+        c.access(_zeros(32), _addrs(*lines))
+        hits = c.access(_zeros(32), _addrs(*lines))
+        assert hits.all()
+
+    def test_streaming_never_hits(self):
+        c = CacheArray(1, 4096, 128, 4)
+        a = c.access(_zeros(64), _addrs(*range(64)))
+        b = c.access(_zeros(64), _addrs(*range(64, 128)))
+        assert not a.any() and not b.any()
+
+
+class TestBatchSemantics:
+    def test_duplicates_in_batch_count_as_hits(self):
+        """MSHR merging: N requests for one missing line = 1 miss + N-1 hits."""
+        c = CacheArray(1, 4096, 128, 4)
+        res = c.access(_zeros(3), _addrs(7, 7, 7))
+        assert int(res.sum()) == 2
+        assert c.stats.misses == 1
+        assert c.stats.hits == 2
+
+    def test_same_set_collisions_all_inserted(self):
+        c = CacheArray(1, 512, 128, 4)  # 1 set, 4 ways
+        res = c.access(_zeros(3), _addrs(1, 2, 3))
+        assert not res.any()
+        assert c.resident_lines() == 3
+        assert c.access(_zeros(3), _addrs(1, 2, 3)).all()
+
+    def test_more_collisions_than_ways(self):
+        c = CacheArray(1, 256, 128, 2)  # 1 set, 2 ways
+        c.access(_zeros(4), _addrs(1, 2, 3, 4))
+        # only `ways` of them can be resident
+        assert c.resident_lines() == 2
+
+
+class TestStats:
+    def test_hit_rate(self):
+        s = CacheStats(hits=3, misses=1)
+        assert s.hit_rate == 0.75
+        assert s.requests == 4
+
+    def test_empty_hit_rate(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(1, 2)
+        a.merge(CacheStats(3, 4))
+        assert a.hits == 4 and a.misses == 6

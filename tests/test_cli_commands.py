@@ -1,0 +1,41 @@
+"""Smoke tests for the remaining repro-bench CLI commands (tiny scales)."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.25")
+
+
+class TestCliCommands:
+    def test_profile(self, capsys):
+        assert main(["profile", "-w", "kron16"]) == 0
+        out = capsys.readouterr().out
+        assert "==PROF==" in out
+        assert "tex/L1 hit rate" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-w", "kron17"]) == 0
+        out = capsys.readouterr().out
+        assert "scale sweep" in out
+        assert "GTX" in out
+
+    def test_gridsearch(self, capsys):
+        assert main(["gridsearch"]) == 0
+        out = capsys.readouterr().out
+        assert "paper's choice" in out
+
+    def test_multiple_commands_compose(self, capsys):
+        assert main(["inputformat", "baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "input format" in out
+        assert "exact baselines" in out
+
+    def test_figure1_with_csv(self, tmp_path, capsys):
+        assert main(["figure1", "--no-quad", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "figure1.csv").exists()
+        out = capsys.readouterr().out
+        assert "FIGURE 1" in out

@@ -1,0 +1,50 @@
+"""Unit tests for per-warp transaction coalescing."""
+
+import numpy as np
+
+from repro.gpusim.coalesce import coalesce
+
+
+def _w(*ids):
+    return np.array(ids, dtype=np.int64)
+
+
+class TestCoalesce:
+    def test_perfectly_coalesced_warp(self):
+        """32 consecutive 4-byte reads = one 128-byte transaction."""
+        addrs = np.arange(32, dtype=np.int64) * 4
+        batch = coalesce(np.zeros(32, np.int64), addrs, 128)
+        assert batch.transactions == 1
+        assert batch.coalescing_ratio == 32.0
+
+    def test_fully_scattered_warp(self):
+        addrs = np.arange(32, dtype=np.int64) * 128
+        batch = coalesce(np.zeros(32, np.int64), addrs, 128)
+        assert batch.transactions == 32
+        assert batch.coalescing_ratio == 1.0
+
+    def test_warps_do_not_share_transactions(self):
+        """Same line touched by two warps = two transactions."""
+        batch = coalesce(_w(0, 1), np.array([0, 0], np.int64), 128)
+        assert batch.transactions == 2
+
+    def test_line_alignment(self):
+        # offsets 120 and 130 straddle a 128-byte boundary -> 2 lines
+        batch = coalesce(_w(0, 0), np.array([120, 130], np.int64), 128)
+        assert batch.transactions == 2
+        assert set(batch.line_addrs.tolist()) == {0, 128}
+
+    def test_sector_granularity(self):
+        # same two addresses at 32-byte granularity -> sectors 3 and 4
+        batch = coalesce(_w(0, 0), np.array([120, 130], np.int64), 32)
+        assert set(batch.line_addrs.tolist()) == {96, 128}
+
+    def test_empty(self):
+        batch = coalesce(_w(), np.array([], np.int64), 128)
+        assert batch.transactions == 0
+        assert batch.coalescing_ratio == 0.0
+
+    def test_warp_ids_preserved(self):
+        batch = coalesce(_w(3, 3, 7), np.array([0, 4, 0], np.int64), 128)
+        assert sorted(batch.warp_ids.tolist()) == [3, 7]
+        assert batch.lane_requests == 3

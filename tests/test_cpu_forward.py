@@ -1,0 +1,107 @@
+"""Unit tests for the sequential forward baseline and the merge walk."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.forward import forward_count_cpu, merge_walk
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim.device import XEON_X5650
+
+
+class TestMergeWalk:
+    def test_simple_intersection(self):
+        # two vertices, adjacency [1,2,3] and [2,3,4]
+        adj = np.array([1, 2, 3, 2, 3, 4], np.int32)
+        node = np.array([0, 3, 6], np.int32)
+        res = merge_walk(adj, node, np.array([0]), np.array([1]))
+        assert res.total_matches == 2
+
+    def test_disjoint_lists(self):
+        adj = np.array([1, 2, 8, 9], np.int32)
+        node = np.array([0, 2, 4], np.int32)
+        res = merge_walk(adj, node, np.array([0]), np.array([1]))
+        assert res.total_matches == 0
+        # walk stops when the first list exhausts: steps = 2 (1,2 vs 8)
+        assert res.total_steps == 2
+
+    def test_empty_list_is_free(self):
+        adj = np.array([1, 2, 3], np.int32)
+        node = np.array([0, 3, 3], np.int32)
+        res = merge_walk(adj, node, np.array([0]), np.array([1]))
+        assert res.total_steps == 0
+        assert res.total_matches == 0
+
+    def test_identical_lists(self):
+        adj = np.array([5, 6, 7, 5, 6, 7], np.int32)
+        node = np.array([0, 3, 6], np.int32)
+        res = merge_walk(adj, node, np.array([0]), np.array([1]))
+        assert res.total_matches == 3
+        assert res.total_steps == 3
+
+    def test_no_arcs(self):
+        res = merge_walk(np.zeros(0, np.int32), np.array([0], np.int32),
+                         np.zeros(0, np.int32), np.zeros(0, np.int32))
+        assert res.total_matches == 0
+
+    def test_step_upper_bound(self):
+        """Steps for one arc never exceed |A| + |B|."""
+        rng = np.random.default_rng(0)
+        a = np.unique(rng.integers(0, 100, 20))
+        b = np.unique(rng.integers(0, 100, 30))
+        adj = np.concatenate([a, b]).astype(np.int32)
+        node = np.array([0, len(a), len(a) + len(b)], np.int32)
+        res = merge_walk(adj, node, np.array([0]), np.array([1]))
+        assert res.total_steps <= len(a) + len(b)
+
+
+class TestForwardCpu:
+    def test_counts_match_oracle(self, any_graph, oracle):
+        assert forward_count_cpu(any_graph).triangles == oracle(any_graph)
+
+    def test_forward_arc_count(self, small_rmat):
+        res = forward_count_cpu(small_rmat)
+        assert res.num_forward_arcs == small_rmat.num_edges
+
+    def test_steps_per_arc_shape(self, small_ba):
+        res = forward_count_cpu(small_ba)
+        assert len(res.steps_per_arc) == res.num_forward_arcs
+        assert int(res.steps_per_arc.sum()) == res.merge_steps
+
+    def test_arc_order_invariance(self, small_ws):
+        a = forward_count_cpu(small_ws)
+        b = forward_count_cpu(small_ws.shuffled(seed=2))
+        assert a.triangles == b.triangles
+        assert a.merge_steps == b.merge_steps
+
+    def test_time_model_components(self, small_rmat):
+        res = forward_count_cpu(small_rmat)
+        assert res.preprocess_ms > 0
+        assert res.count_ms > 0
+        assert res.elapsed_ms == pytest.approx(
+            res.preprocess_ms + res.count_ms)
+
+    def test_time_scales_with_work(self):
+        from repro.graphs.generators import rmat
+        small = forward_count_cpu(rmat(8, 8, seed=1))
+        large = forward_count_cpu(rmat(11, 8, seed=1))
+        assert large.elapsed_ms > small.elapsed_ms * 4
+
+    def test_custom_cpu_spec(self, k5):
+        from dataclasses import replace
+        slow = replace(XEON_X5650, ns_per_merge_step=1000.0)
+        fast_res = forward_count_cpu(k5)
+        slow_res = forward_count_cpu(k5, cpu=slow)
+        assert slow_res.triangles == fast_res.triangles
+        assert slow_res.count_ms > fast_res.count_ms
+
+    def test_empty_graph(self):
+        res = forward_count_cpu(EdgeArray.empty(10))
+        assert res.triangles == 0
+        assert res.merge_steps == 0
+
+    def test_star_has_no_merge_work(self, star20):
+        """Every forward list of a star's leaf is empty, so merges cost
+        nothing — the degenerate case the orientation is built for."""
+        res = forward_count_cpu(star20)
+        assert res.triangles == 0
+        assert res.merge_steps == 0

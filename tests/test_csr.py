@@ -1,0 +1,91 @@
+"""Unit tests for CSR structure and edge-array conversions (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import (CSRGraph, build_node_ptr, csr_to_edge_array,
+                              edge_array_to_csr)
+from repro.graphs.edgearray import EdgeArray
+
+
+class TestCSRGraph:
+    def test_basic_structure(self, k5):
+        csr, _ = edge_array_to_csr(k5)
+        assert csr.num_nodes == 5
+        assert csr.num_arcs == 20
+        for v in range(5):
+            assert csr.degree(v) == 4
+            neigh = csr.neighbors(v)
+            assert sorted(neigh.tolist()) == [u for u in range(5) if u != v]
+
+    def test_adjacency_sorted(self, small_rmat):
+        csr, _ = edge_array_to_csr(small_rmat)
+        for v in range(csr.num_nodes):
+            neigh = csr.neighbors(v)
+            assert np.all(np.diff(neigh) > 0)
+
+    def test_degrees_match_edge_array(self, any_graph):
+        csr, _ = edge_array_to_csr(any_graph)
+        assert np.array_equal(csr.degrees(), any_graph.degrees())
+
+    def test_invalid_node_ptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph([0, 2, 1], [0, 1])  # decreasing
+        with pytest.raises(GraphFormatError):
+            CSRGraph([0, 1], [0, 1])  # doesn't end at len(adj)
+        with pytest.raises(GraphFormatError):
+            CSRGraph([], [])
+
+    def test_unsorted_slice_rejected(self):
+        with pytest.raises(GraphFormatError, match="sorted"):
+            CSRGraph([0, 2], [1, 0])
+
+    def test_slices_need_not_be_sorted_across_vertices(self):
+        # vertex 0 -> [5], vertex 1 -> [0]: 5 > 0 across the boundary is fine
+        CSRGraph([0, 1, 2], [5, 0])
+
+
+class TestConversions:
+    def test_roundtrip(self, any_graph):
+        csr, _ = edge_array_to_csr(any_graph)
+        back, _ = csr_to_edge_array(csr)
+        assert back == any_graph
+
+    def test_isolated_vertices_survive(self):
+        g = EdgeArray.from_edges([(0, 1)], num_nodes=5)
+        csr, _ = edge_array_to_csr(g)
+        assert csr.num_nodes == 5
+        assert csr.degree(3) == 0
+
+    def test_cost_asymmetry(self, small_rmat):
+        """The paper's Section III-A argument: CSR→edges is sort-free,
+        edges→CSR is not."""
+        _, to_csr = edge_array_to_csr(small_rmat)
+        csr, _ = edge_array_to_csr(small_rmat)
+        _, to_edges = csr_to_edge_array(csr)
+        assert to_csr.sorted_elements == small_rmat.num_arcs
+        assert to_edges.sorted_elements == 0
+
+    def test_cost_addition(self):
+        from repro.graphs.csr import ConversionCost
+        total = ConversionCost(10, 5) + ConversionCost(1, 2)
+        assert total.element_passes == 11
+        assert total.sorted_elements == 7
+
+
+class TestBuildNodePtr:
+    def test_with_gaps(self):
+        # vertices 0..4; arcs from 1 (x2) and 3 (x1); 0, 2, 4 empty
+        ptr = build_node_ptr(np.array([1, 1, 3], np.int32), 5)
+        assert ptr.tolist() == [0, 0, 2, 2, 3, 3]
+
+    def test_empty(self):
+        ptr = build_node_ptr(np.empty(0, np.int32), 3)
+        assert ptr.tolist() == [0, 0, 0, 0]
+
+    def test_slices_recover_counts(self, small_ba):
+        order = np.lexsort((small_ba.second, small_ba.first))
+        srt = small_ba.first[order]
+        ptr = build_node_ptr(srt, small_ba.num_nodes)
+        assert np.array_equal(np.diff(ptr), small_ba.degrees())

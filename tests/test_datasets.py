@@ -1,0 +1,89 @@
+"""Unit tests for the Table I workload registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs import datasets
+from repro.graphs.validate import validate_edge_array
+
+
+class TestRegistry:
+    def test_all_thirteen_rows_present(self):
+        assert len(datasets.names()) == 13
+
+    def test_row_order_matches_table_one(self):
+        assert datasets.names() == [
+            "internet", "livejournal", "orkut", "citeseer", "dblp",
+            "kron16", "kron17", "kron18", "kron19", "kron20", "kron21",
+            "ba", "ws",
+        ]
+
+    def test_kronecker_family(self):
+        assert datasets.kronecker_names() == [
+            "kron16", "kron17", "kron18", "kron19", "kron20", "kron21"]
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            datasets.get("nope")
+
+    def test_dagger_rows(self):
+        """Orkut and Kronecker 21 carry the † marker in Table I."""
+        for name in datasets.names():
+            w = datasets.get(name)
+            expected = name in ("orkut", "kron21")
+            assert w.paper.dagger_c2050 == expected, name
+
+    def test_paper_numbers_sanity(self):
+        """Speedups in the published bands: 8–17× (C2050), 15–36× (GTX)."""
+        for name in datasets.names():
+            row = datasets.get(name).paper
+            assert 8.0 <= row.c2050_speedup <= 17.0, name
+            assert 15.0 <= row.gtx980_speedup <= 36.0, name
+            assert 0.9 <= row.quad_speedup <= 2.9, name
+            assert 0 < row.cache_hit_pct < 100
+            assert 0 < row.bandwidth_gbs < 224
+
+    def test_speedups_consistent_with_times(self):
+        for name in datasets.names():
+            row = datasets.get(name).paper
+            assert row.cpu_ms / row.c2050_ms == pytest.approx(
+                row.c2050_speedup, rel=0.01)
+            assert row.cpu_ms / row.gtx980_ms == pytest.approx(
+                row.gtx980_speedup, rel=0.01)
+            assert row.c2050_ms / row.quad_ms == pytest.approx(
+                row.quad_speedup, rel=0.01)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", datasets.names())
+    def test_builds_valid_graph_at_tiny_scale(self, name):
+        w = datasets.get(name)
+        g = w.build(scale=w.default_scale / 4, seed=0)
+        validate_edge_array(g)
+        assert g.num_arcs > 0
+
+    def test_deterministic(self):
+        w = datasets.get("ws")
+        assert w.build(scale=1 / 512, seed=3) == w.build(scale=1 / 512, seed=3)
+
+    def test_scale_changes_size(self):
+        w = datasets.get("ba")
+        small = w.build(scale=1 / 256, seed=0)
+        large = w.build(scale=1 / 64, seed=0)
+        assert large.num_nodes > small.num_nodes
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            datasets.get("ba").build(scale=2.0)
+        with pytest.raises(WorkloadError):
+            datasets.get("ba").build(scale=0.0)
+
+    def test_mean_degree_roughly_preserved_across_scales(self):
+        """Scaling shrinks n and m together (density in arcs/node grows
+        only through generator constraints, not the scale knob)."""
+        w = datasets.get("ws")
+        g1 = w.build(scale=1 / 512, seed=1)
+        g2 = w.build(scale=1 / 128, seed=1)
+        d1 = g1.num_arcs / g1.num_nodes
+        d2 = g2.num_arcs / g2.num_nodes
+        assert d1 == pytest.approx(d2, rel=0.1)

@@ -1,0 +1,63 @@
+"""Unit tests for the device catalog."""
+
+import pytest
+
+from repro.gpusim.device import (DEVICES, GTX_980, NVS_5200M, TESLA_C2050,
+                                 XEON_X5650)
+
+
+class TestCatalog:
+    def test_published_specs(self):
+        """Spot-check the cards' published numbers."""
+        assert TESLA_C2050.num_cores == 448
+        assert TESLA_C2050.peak_bandwidth_gbs == 144.0
+        assert TESLA_C2050.memory_bytes == 3 * 1024**3
+        assert GTX_980.num_cores == 2048
+        assert GTX_980.peak_bandwidth_gbs == 224.0
+        assert GTX_980.memory_bytes == 4 * 1024**3
+        assert NVS_5200M.num_cores == 96
+
+    def test_architecture_cache_rule(self):
+        """Section III-D4: Fermi caches global loads, Maxwell needs
+        const __restrict__."""
+        assert TESLA_C2050.caches_global_loads_by_default
+        assert NVS_5200M.caches_global_loads_by_default
+        assert not GTX_980.caches_global_loads_by_default
+
+    def test_registry(self):
+        assert set(DEVICES) == {"c2050", "gtx980", "nvs5200m"}
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GTX_980.num_sms = 1
+
+
+class TestScaling:
+    def test_with_memory(self):
+        d = GTX_980.with_memory(1000)
+        assert d.memory_bytes == 1000
+        assert d.num_sms == GTX_980.num_sms
+
+    def test_scaled_shrinks_capacity_resources(self):
+        d = GTX_980.scaled(1 / 256)
+        assert d.memory_bytes == GTX_980.memory_bytes // 256
+        assert d.l2_bytes == GTX_980.l2_bytes // 256
+        # per-SM cache untouched (see DeviceSpec.scaled docstring)
+        assert d.l1_bytes == GTX_980.l1_bytes
+
+    def test_scaled_l2_floor(self):
+        d = GTX_980.scaled(1e-9)
+        assert d.l2_bytes >= d.line_bytes * d.l2_ways
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            GTX_980.scaled(0)
+        with pytest.raises(ValueError):
+            GTX_980.scaled(1.5)
+
+
+class TestCpuSpec:
+    def test_xeon_constants_positive(self):
+        assert XEON_X5650.ns_per_merge_step > 0
+        assert XEON_X5650.ns_per_pass_element > 0
+        assert XEON_X5650.ns_per_sort_compare > 0

@@ -1,0 +1,86 @@
+"""Unit tests for distributed partitioned counting (Section VI combined)."""
+
+import pytest
+
+from repro.core.distributed import (distributed_count_triangles,
+                                    subset_weight)
+from repro.errors import OutOfDeviceMemoryError, ReproError
+from repro.gpusim.device import GTX_980, TESLA_C2050
+from repro.gpusim.memory import DeviceMemory
+
+
+class TestSubsetWeight:
+    def test_classic_inclusion_exclusion(self):
+        """p=4: triples +1, pairs −1, singles +1."""
+        assert subset_weight(3, 4) == 1
+        assert subset_weight(2, 4) == -1
+        assert subset_weight(1, 4) == 1
+
+    def test_two_parts(self):
+        """p=2: the pair covers everything, singles weigh 0."""
+        assert subset_weight(2, 2) == 1
+        assert subset_weight(1, 2) == 0
+
+    def test_one_part(self):
+        assert subset_weight(1, 1) == 1
+
+    def test_weights_cover_each_support_once(self):
+        """Σ_{Q ⊇ S, |Q| ≤ 3} w(|Q|) = 1 for every support size |S| ≤ 3."""
+        from math import comb
+        for p in (3, 4, 5, 8):
+            for s_size in (1, 2, 3):
+                total = sum(comb(p - s_size, q_size - s_size)
+                            * subset_weight(q_size, p)
+                            for q_size in range(s_size, min(3, p) + 1))
+                assert total == 1, (p, s_size)
+
+
+class TestDistributed:
+    def test_exact_on_all_graphs(self, any_graph, oracle):
+        res = distributed_count_triangles(any_graph, num_gpus=2, num_parts=4)
+        assert res.triangles == oracle(any_graph)
+
+    def test_various_configurations(self, small_rmat, oracle):
+        for gpus, parts in ((1, 1), (1, 4), (3, 5), (4, 2)):
+            res = distributed_count_triangles(small_rmat, num_gpus=gpus,
+                                              num_parts=parts)
+            assert res.triangles == oracle(small_rmat), (gpus, parts)
+
+    def test_invalid_args(self, k5):
+        with pytest.raises(ReproError):
+            distributed_count_triangles(k5, num_gpus=0)
+        with pytest.raises(ReproError):
+            distributed_count_triangles(k5, num_parts=0)
+
+    def test_no_serial_bottleneck(self, medium_rmat):
+        """More GPUs shrink the makespan — there is no Amdahl cap
+        because every job preprocesses on its own device."""
+        one = distributed_count_triangles(medium_rmat, num_gpus=1,
+                                          num_parts=6)
+        four = distributed_count_triangles(medium_rmat, num_gpus=4,
+                                           num_parts=6)
+        assert four.triangles == one.triangles
+        assert four.makespan_ms < one.makespan_ms
+        speedup = one.total_ms / four.total_ms
+        assert speedup > 1.5
+
+    def test_load_balance_reported(self, small_ba):
+        res = distributed_count_triangles(small_ba, num_gpus=3, num_parts=6)
+        assert 0.0 < res.load_balance <= 1.0
+
+    def test_fits_memory_capped_devices(self, medium_rmat, oracle):
+        """The headline capability: a graph that overflows one device
+        (even via the † path) is counted by splitting it."""
+        from repro.core.forward_gpu import gpu_count_triangles
+        device = TESLA_C2050.with_memory(medium_rmat.num_arcs * 8 // 2)
+        with pytest.raises(OutOfDeviceMemoryError):
+            gpu_count_triangles(medium_rmat, device=device,
+                                memory=DeviceMemory(device))
+        res = distributed_count_triangles(medium_rmat, device=device,
+                                          num_gpus=4, num_parts=8)
+        assert res.triangles == oracle(medium_rmat)
+        assert res.largest_subgraph_arcs < medium_rmat.num_arcs
+
+    def test_redundancy_reported(self, small_ws):
+        res = distributed_count_triangles(small_ws, num_gpus=2, num_parts=4)
+        assert res.redundant_arc_work > small_ws.num_arcs

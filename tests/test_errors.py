@@ -1,0 +1,44 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (CalibrationError, DeviceError, GraphFormatError,
+                          InvalidLaunchError, KernelFault,
+                          OutOfDeviceMemoryError, ReproError, WorkloadError)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (GraphFormatError, DeviceError, OutOfDeviceMemoryError,
+                    InvalidLaunchError, KernelFault, CalibrationError,
+                    WorkloadError):
+            assert issubclass(exc, ReproError), exc
+
+    def test_device_sub_hierarchy(self):
+        assert issubclass(OutOfDeviceMemoryError, DeviceError)
+        assert issubclass(InvalidLaunchError, DeviceError)
+        assert issubclass(KernelFault, DeviceError)
+
+    def test_one_catch_all(self, small_rmat):
+        """A caller can guard any library call with one except clause."""
+        from repro.core.forward_gpu import gpu_count_triangles
+        from repro.gpusim.device import GTX_980
+        from repro.gpusim.memory import DeviceMemory
+        from repro.core.options import GpuOptions
+        device = GTX_980.with_memory(64)
+        with pytest.raises(ReproError):
+            gpu_count_triangles(small_rmat, device=device,
+                                memory=DeviceMemory(device),
+                                options=GpuOptions(cpu_preprocess="never"))
+
+
+class TestOutOfMemory:
+    def test_carries_accounting(self):
+        exc = OutOfDeviceMemoryError(requested=1000, available=400)
+        assert exc.requested == 1000
+        assert exc.available == 400
+        assert "1000" in str(exc) and "400" in str(exc)
+
+    def test_custom_message(self):
+        exc = OutOfDeviceMemoryError(1, 0, message="boom")
+        assert str(exc) == "boom"

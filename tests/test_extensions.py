@@ -1,0 +1,104 @@
+"""Unit tests for the future-work extensions (paper Section VI)."""
+
+import pytest
+
+from repro.core.hybrid import hybrid_count_triangles
+from repro.core.partitioned import partitioned_count_triangles
+from repro.errors import ReproError
+from repro.graphs.generators import barabasi_albert, star_graph
+
+
+class TestHybrid:
+    def test_exact_on_all_graphs(self, any_graph, oracle):
+        res = hybrid_count_triangles(any_graph, hub_fraction=0.05)
+        assert res.triangles == oracle(any_graph)
+
+    def test_various_hub_fractions(self, small_rmat, oracle):
+        for frac in (0.0, 0.01, 0.1, 0.5, 1.0):
+            res = hybrid_count_triangles(small_rmat, hub_fraction=frac)
+            assert res.triangles == oracle(small_rmat), frac
+
+    def test_decomposition_sums(self, small_ba):
+        res = hybrid_count_triangles(small_ba, hub_fraction=0.1)
+        assert res.triangles == res.hub_triangles + res.nonhub_triangles
+
+    def test_saves_merge_work_on_skewed_graph(self):
+        """Filtering hub entries out of the adjacency lists must reduce
+        the merge steps on a preferential-attachment graph."""
+        g = barabasi_albert(400, 10, seed=5)
+        res = hybrid_count_triangles(g, hub_fraction=0.05)
+        assert res.merge_steps < res.baseline_merge_steps
+        assert res.merge_steps_saved > 0
+
+    def test_all_hubs_means_pure_matmul(self, k12):
+        res = hybrid_count_triangles(k12, hub_fraction=1.0)
+        assert res.hub_triangles == 220
+        assert res.nonhub_triangles == 0
+
+    def test_invalid_fraction(self, k5):
+        with pytest.raises(ReproError):
+            hybrid_count_triangles(k5, hub_fraction=1.5)
+
+
+class TestPartitioned:
+    def test_exact_on_all_graphs(self, any_graph, oracle):
+        res = partitioned_count_triangles(any_graph, num_parts=3, seed=1)
+        assert res.triangles == oracle(any_graph)
+
+    def test_various_part_counts(self, small_ws, oracle):
+        for p in (1, 2, 4, 6):
+            res = partitioned_count_triangles(small_ws, num_parts=p, seed=2)
+            assert res.triangles == oracle(small_ws), p
+
+    def test_subgraphs_are_smaller(self, small_ba):
+        """The whole point: every counting call sees less than the full
+        graph, so a memory-capped device can process each piece."""
+        res = partitioned_count_triangles(small_ba, num_parts=4, seed=3)
+        assert res.largest_subgraph_arcs < small_ba.num_arcs
+
+    def test_redundancy_is_the_overhead(self, small_ba):
+        """Splitting re-processes arcs across subsets — the overhead the
+        paper is unsure about (Section VI)."""
+        res = partitioned_count_triangles(small_ba, num_parts=4, seed=3)
+        assert res.redundant_arc_work > small_ba.num_arcs
+
+    def test_custom_counter_backend(self, k12):
+        from repro.cpu.matmul import matmul_count
+        res = partitioned_count_triangles(
+            k12, num_parts=3, counter=lambda g: matmul_count(g).triangles)
+        assert res.triangles == 220
+
+    def test_gpu_backend_with_memory_too_small_for_whole_graph(self,
+                                                               medium_rmat,
+                                                               oracle):
+        """The paper's motivating scenario: the full graph overflows even
+        the † path (needs > 2× capacity), but the partitioned scheme
+        finishes on the same simulated card."""
+        import pytest as _pytest
+        from repro.core.forward_gpu import gpu_count_triangles
+        from repro.core.options import GpuOptions
+        from repro.errors import OutOfDeviceMemoryError
+        from repro.gpusim.device import GTX_980
+        from repro.gpusim.memory import DeviceMemory
+
+        device = GTX_980.with_memory(medium_rmat.num_arcs * 8 // 2)
+        with _pytest.raises(OutOfDeviceMemoryError):
+            gpu_count_triangles(medium_rmat, device=device,
+                                memory=DeviceMemory(device),
+                                options=GpuOptions(cpu_preprocess="never"))
+
+        def gpu_counter(g):
+            return gpu_count_triangles(g, device=device,
+                                       memory=DeviceMemory(device)).triangles
+
+        res = partitioned_count_triangles(medium_rmat, num_parts=8,
+                                          counter=gpu_counter, seed=4)
+        assert res.triangles == oracle(medium_rmat)
+
+    def test_invalid_parts(self, k5):
+        with pytest.raises(ReproError):
+            partitioned_count_triangles(k5, num_parts=0)
+
+    def test_star_graph(self):
+        res = partitioned_count_triangles(star_graph(30), num_parts=3)
+        assert res.triangles == 0

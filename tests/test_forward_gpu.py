@@ -1,0 +1,94 @@
+"""Unit tests for the single-GPU end-to-end pipeline."""
+
+import pytest
+
+import repro
+from repro.core.forward_gpu import gpu_count_triangles
+from repro.core.options import GpuOptions
+from repro.errors import ReproError
+from repro.gpusim.device import GTX_980, TESLA_C2050
+from repro.gpusim.memory import DeviceMemory
+
+
+class TestEndToEnd:
+    def test_counts_match_oracle(self, any_graph, oracle):
+        res = gpu_count_triangles(any_graph)
+        assert res.triangles == oracle(any_graph)
+
+    def test_both_devices_agree(self, small_rmat):
+        g = gpu_count_triangles(small_rmat, device=GTX_980)
+        t = gpu_count_triangles(small_rmat, device=TESLA_C2050)
+        assert g.triangles == t.triangles
+
+    def test_timeline_has_measurement_window(self, k5):
+        res = gpu_count_triangles(k5)
+        names = [e.name for e in res.timeline.events]
+        assert names[0].startswith("h2d")          # window opens at copy-in
+        assert names[-1].startswith("d2h")         # closes at result copy
+        assert any("CountTriangles" in n for n in names)
+        assert res.total_ms > 0
+
+    def test_breakdown_phases(self, small_ba):
+        res = gpu_count_triangles(small_ba)
+        bd = res.timeline.breakdown()
+        assert set(bd) == {"copy", "preprocess", "count", "reduce"}
+        assert all(v >= 0 for v in bd.values())
+
+    def test_memory_freed_at_end(self, k5):
+        device = GTX_980
+        mem = DeviceMemory(device)
+        gpu_count_triangles(k5, device=device, memory=mem)
+        assert mem.used_bytes == 0
+
+    def test_mismatched_memory_rejected(self, k5):
+        with pytest.raises(ReproError):
+            gpu_count_triangles(k5, device=GTX_980,
+                                memory=DeviceMemory(TESLA_C2050))
+
+    def test_triangle_count_adapter(self, k5):
+        tc = gpu_count_triangles(k5).as_triangle_count()
+        assert int(tc) == 10
+        assert tc.elapsed_ms > 0
+        assert "count" in tc.breakdown
+
+
+class TestMetrics:
+    def test_cache_hit_rate_in_range(self, small_ba):
+        res = gpu_count_triangles(small_ba)
+        assert 0.0 < res.cache_hit_rate < 1.0
+
+    def test_bandwidth_positive_and_below_peak(self, small_ba):
+        res = gpu_count_triangles(small_ba, device=GTX_980.scaled(1 / 64))
+        assert 0.0 < res.bandwidth_gbs < GTX_980.peak_bandwidth_gbs
+
+    def test_gtx980_faster_than_c2050(self, small_ws):
+        g = gpu_count_triangles(small_ws, device=GTX_980)
+        t = gpu_count_triangles(small_ws, device=TESLA_C2050)
+        assert g.total_ms < t.total_ms
+
+    def test_faster_than_cpu_baseline(self, medium_rmat):
+        """On paper-regime (non-tiny) graphs the GPU wins; tiny graphs
+        are launch-overhead bound and may not, which is realistic."""
+        gpu = gpu_count_triangles(medium_rmat)
+        cpu = repro.forward_count_cpu(medium_rmat)
+        assert gpu.total_ms < cpu.elapsed_ms
+
+
+class TestDaggerBehaviour:
+    def test_memory_pressure_sets_flag_and_count_survives(self, medium_rmat,
+                                                          oracle):
+        footprint = medium_rmat.num_arcs * 8
+        device = GTX_980.with_memory(int(footprint * 1.6))
+        res = gpu_count_triangles(medium_rmat, device=device,
+                                  memory=DeviceMemory(device))
+        assert res.used_cpu_fallback
+        assert res.triangles == oracle(medium_rmat)
+
+    def test_dagger_slower_than_direct(self, medium_rmat):
+        """The † path pays host passes over the full arc list, which at
+        paper-regime sizes outweighs the halved device work."""
+        direct = gpu_count_triangles(medium_rmat)
+        forced = gpu_count_triangles(
+            medium_rmat, options=GpuOptions(cpu_preprocess="always"))
+        assert forced.triangles == direct.triangles
+        assert forced.total_ms > direct.total_ms

@@ -1,0 +1,225 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs.generators import (barabasi_albert, clique_cover,
+                                     complete_graph, configuration_model,
+                                     cycle_graph, erdos_renyi_gnm,
+                                     path_graph, powerlaw_degree_sequence,
+                                     rmat, star_graph, watts_strogatz)
+from repro.graphs.generators.rmat import RMATParams
+from repro.graphs.validate import validate_edge_array
+
+
+class TestMisc:
+    def test_complete_counts(self):
+        for n in (2, 3, 5, 10):
+            g = complete_graph(n)
+            assert g.num_edges == n * (n - 1) // 2
+
+    def test_complete_tiny(self):
+        assert complete_graph(0).num_arcs == 0
+        assert complete_graph(1).num_arcs == 0
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert np.all(g.degrees() == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(WorkloadError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+
+    def test_star(self):
+        g = star_graph(8)
+        assert g.num_edges == 7
+        assert g.degrees()[0] == 7
+
+
+class TestRMAT:
+    def test_basic_shape(self):
+        g = rmat(8, edge_factor=8, seed=1)
+        assert g.num_nodes == 256
+        assert 0 < g.num_edges <= 8 * 256
+        validate_edge_array(g)
+
+    def test_deterministic_under_seed(self):
+        assert rmat(7, 8, seed=5) == rmat(7, 8, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert rmat(7, 8, seed=5) != rmat(7, 8, seed=6)
+
+    def test_skewed_degrees(self):
+        """R-MAT with Graph500 params must produce a heavy tail."""
+        g = rmat(10, edge_factor=16, seed=2)
+        deg = g.degrees()
+        assert deg.max() > 8 * deg.mean()
+
+    def test_zero_noise(self):
+        g = rmat(6, 8, seed=3, noise=0.0)
+        validate_edge_array(g)
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            rmat(-1, 8)
+        with pytest.raises(WorkloadError):
+            rmat(32, 8)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            RMATParams(0.5, 0.5, 0.5, 0.5)
+        with pytest.raises(WorkloadError):
+            RMATParams(1.2, -0.2, 0.0, 0.0)
+
+    def test_scale_zero(self):
+        g = rmat(0, 8, seed=1)
+        assert g.num_nodes == 1
+        assert g.num_arcs == 0
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        g = barabasi_albert(200, 5, seed=1)
+        assert g.num_nodes == 200
+        validate_edge_array(g)
+        # each of the n-(m+1) new vertices adds m edges, plus the m seed edges
+        assert g.num_edges == 5 + (200 - 6) * 5
+
+    def test_min_degree(self):
+        g = barabasi_albert(100, 4, seed=2)
+        deg = g.degrees()
+        # every non-seed vertex attached with exactly m edges
+        assert deg.min() >= 1
+        assert np.all(deg[5:] >= 4)
+
+    def test_preferential_attachment_skew(self):
+        g = barabasi_albert(500, 3, seed=3)
+        deg = g.degrees()
+        assert deg.max() > 6 * deg.mean()
+
+    def test_deterministic(self):
+        assert barabasi_albert(80, 3, seed=9) == barabasi_albert(80, 3, seed=9)
+
+    def test_invalid_m(self):
+        with pytest.raises(WorkloadError):
+            barabasi_albert(10, 0)
+        with pytest.raises(WorkloadError):
+            barabasi_albert(10, 10)
+
+
+class TestWattsStrogatz:
+    def test_lattice_no_rewiring(self):
+        g = watts_strogatz(50, 6, 0.0, seed=1)
+        assert np.all(g.degrees() == 6)
+        assert g.num_edges == 150
+
+    def test_lattice_triangle_count(self):
+        """p=0 ring lattice has exactly n·C(k/2, 2) triangles."""
+        from repro.cpu.matmul import matmul_count
+        n, k = 40, 8
+        g = watts_strogatz(n, k, 0.0, seed=1)
+        assert matmul_count(g).triangles == n * (k // 2) * (k // 2 - 1) // 2
+
+    def test_rewiring_reduces_triangles(self):
+        from repro.cpu.matmul import matmul_count
+        g0 = watts_strogatz(200, 8, 0.0, seed=2)
+        g1 = watts_strogatz(200, 8, 0.5, seed=2)
+        assert matmul_count(g1).triangles < matmul_count(g0).triangles
+
+    def test_validates(self):
+        validate_edge_array(watts_strogatz(100, 6, 0.3, seed=4))
+
+    def test_invalid_k(self):
+        with pytest.raises(WorkloadError):
+            watts_strogatz(10, 5, 0.1)  # odd k
+        with pytest.raises(WorkloadError):
+            watts_strogatz(10, 12, 0.1)  # k >= n
+
+    def test_invalid_p(self):
+        with pytest.raises(WorkloadError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_gnm(50, 100, seed=1)
+        assert g.num_edges == 100
+        validate_edge_array(g)
+
+    def test_dense_regime(self):
+        g = erdos_renyi_gnm(10, 40, seed=2)  # > half of max 45
+        assert g.num_edges == 40
+
+    def test_full_graph(self):
+        g = erdos_renyi_gnm(6, 15, seed=3)
+        assert g == complete_graph(6)
+
+    def test_too_many_edges(self):
+        with pytest.raises(WorkloadError):
+            erdos_renyi_gnm(4, 7)
+
+    def test_zero_edges(self):
+        g = erdos_renyi_gnm(5, 0, seed=1)
+        assert g.num_arcs == 0
+        assert g.num_nodes == 5
+
+
+class TestConfigurationModel:
+    def test_degree_sequence_sum(self):
+        deg = powerlaw_degree_sequence(500, 2000, exponent=2.5, seed=1)
+        total = int(deg.sum())
+        assert total % 2 == 0
+        assert abs(total - 4000) <= total * 0.05
+
+    def test_power_law_is_skewed(self):
+        deg = powerlaw_degree_sequence(2000, 20000, exponent=2.2, seed=2)
+        assert deg.max() > 10 * deg.mean()
+
+    def test_configuration_model_respects_caps(self):
+        deg = powerlaw_degree_sequence(300, 1500, seed=3)
+        g = configuration_model(deg, seed=4)
+        validate_edge_array(g)
+        # erased model loses a few percent to loops/multi-edges
+        assert g.num_edges >= 0.8 * 750
+
+    def test_odd_degree_sum_rejected(self):
+        with pytest.raises(WorkloadError):
+            configuration_model([1, 1, 1])
+
+    def test_exact_regular_sequence(self):
+        g = configuration_model([2, 2, 2, 2], seed=5)
+        validate_edge_array(g)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(WorkloadError):
+            powerlaw_degree_sequence(10, 20, exponent=0.9)
+
+
+class TestCliqueCover:
+    def test_validates(self):
+        g = clique_cover(200, 50, mean_group_size=6, seed=1)
+        validate_edge_array(g)
+
+    def test_triangle_rich(self):
+        """Union-of-cliques must have triangles >> edges (the co-paper
+        regime: Citeseer has 27× more triangles than undirected edges)."""
+        from repro.cpu.matmul import matmul_count
+        g = clique_cover(300, 60, mean_group_size=12, seed=2)
+        assert matmul_count(g).triangles > 2 * g.num_edges
+
+    def test_deterministic(self):
+        assert clique_cover(100, 20, seed=3) == clique_cover(100, 20, seed=3)
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            clique_cover(1, 5)
+        with pytest.raises(WorkloadError):
+            clique_cover(10, 0)
+        with pytest.raises(WorkloadError):
+            clique_cover(10, 5, repeat_bias=1.0)

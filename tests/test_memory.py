@@ -1,0 +1,139 @@
+"""Unit tests for the device memory allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfDeviceMemoryError
+from repro.gpusim.device import GTX_980, TESLA_C2050
+from repro.gpusim.memory import DeviceMemory
+
+
+def _mem(capacity=1 << 20):
+    return DeviceMemory(GTX_980.with_memory(capacity))
+
+
+class TestAlloc:
+    def test_basic_alloc(self):
+        mem = _mem()
+        buf = mem.alloc("x", np.arange(100, dtype=np.int32))
+        assert buf.nbytes == 400
+        assert np.array_equal(buf.data, np.arange(100))
+        assert mem.used_bytes >= 400
+
+    def test_alignment(self):
+        mem = _mem()
+        a = mem.alloc("a", np.zeros(1, np.int32))
+        b = mem.alloc("b", np.zeros(1, np.int32))
+        assert a.device_addr % 256 == 0
+        assert b.device_addr % 256 == 0
+        assert b.device_addr > a.device_addr
+
+    def test_alloc_copies_data(self):
+        mem = _mem()
+        src = np.arange(4, dtype=np.int32)
+        buf = mem.alloc("x", src)
+        src[0] = 99
+        assert buf.data[0] == 0
+
+    def test_oom(self):
+        mem = _mem(1024)
+        with pytest.raises(OutOfDeviceMemoryError) as exc:
+            mem.alloc("big", np.zeros(10_000, np.int64))
+        assert exc.value.requested > exc.value.available
+
+    def test_alloc_empty(self):
+        mem = _mem()
+        buf = mem.alloc_empty("e", 16, np.uint64)
+        assert buf.data.shape == (16,)
+        assert buf.data.dtype == np.uint64
+
+    def test_peak_tracking(self):
+        mem = _mem()
+        a = mem.alloc("a", np.zeros(100, np.int64))
+        peak_after_a = mem.peak_bytes
+        mem.free(a)
+        mem.alloc("b", np.zeros(10, np.int64))
+        assert mem.peak_bytes == peak_after_a
+
+
+class TestFree:
+    def test_free_top_reclaims(self):
+        mem = _mem()
+        a = mem.alloc("a", np.zeros(100, np.int64))
+        used = mem.used_bytes
+        b = mem.alloc("b", np.zeros(100, np.int64))
+        mem.free(b)
+        assert mem.used_bytes == used
+        mem.free(a)
+        assert mem.used_bytes == 0
+
+    def test_free_middle_reclaims_on_top_free(self):
+        mem = _mem()
+        a = mem.alloc("a", np.zeros(100, np.int64))
+        b = mem.alloc("b", np.zeros(100, np.int64))
+        mem.free(a)          # hole; top still live
+        assert mem.used_bytes > 0
+        mem.free(b)          # everything free now
+        assert mem.used_bytes == 0
+
+    def test_double_free_rejected(self):
+        mem = _mem()
+        a = mem.alloc("a", np.zeros(1, np.int32))
+        mem.free(a)
+        with pytest.raises(ValueError, match="double free"):
+            mem.free(a)
+
+    def test_free_all(self):
+        mem = _mem()
+        mem.alloc("a", np.zeros(10, np.int64))
+        mem.alloc("b", np.zeros(10, np.int64))
+        mem.free_all()
+        assert mem.used_bytes == 0
+
+
+class TestAddresses:
+    def test_buffer_addresses(self):
+        mem = _mem()
+        buf = mem.alloc("x", np.zeros(8, np.int32))
+        addrs = buf.addresses(np.array([0, 3]))
+        assert addrs.tolist() == [buf.device_addr, buf.device_addr + 12]
+
+
+class TestTransfers:
+    def test_h2d_time_scales_with_bytes(self):
+        mem = DeviceMemory(TESLA_C2050)
+        assert mem.h2d_ms(2 * 10**9) == pytest.approx(
+            2 * 10**9 / (6.0 * 1e9) * 1e3)
+        assert mem.h2d_ms(0) == 0.0
+
+    def test_d2h_symmetric(self):
+        mem = DeviceMemory(GTX_980)
+        assert mem.d2h_ms(12345) == mem.h2d_ms(12345)
+
+
+class TestSnapshotRollback:
+    def test_release_new_frees_only_new(self):
+        mem = _mem()
+        keep = mem.alloc("keep", np.zeros(64, np.int64))
+        snap = mem.snapshot()
+        mem.alloc("a", np.zeros(64, np.int64))
+        mem.alloc("b", np.zeros(64, np.int64))
+        mem.release_new(snap)
+        assert not keep.freed
+        assert mem.used_bytes == 512  # only `keep` remains
+
+    def test_release_new_noop_when_nothing_new(self):
+        mem = _mem()
+        mem.alloc("x", np.zeros(8, np.int64))
+        snap = mem.snapshot()
+        mem.release_new(snap)
+        assert mem.used_bytes > 0
+
+    def test_rollback_then_reuse(self):
+        """After a rollback the reclaimed space is reusable (the OOM →
+        fallback sequence in preprocess)."""
+        mem = _mem(8192)
+        snap = mem.snapshot()
+        mem.alloc("big", np.zeros(512, np.int64))  # 4096 B
+        mem.release_new(snap)
+        mem.alloc("big2", np.zeros(896, np.int64))  # 7168 B — needs the space back

@@ -1,0 +1,71 @@
+"""Unit tests for the METIS (DIMACS10) graph format."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import metis
+from repro.graphs.edgearray import EdgeArray
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, small_rmat, tmp_path):
+        path = tmp_path / "g.metis"
+        metis.write_metis(small_rmat, path)
+        assert metis.read_metis(path) == small_rmat
+
+    def test_roundtrip_with_isolated_vertices(self, tmp_path):
+        g = EdgeArray.from_edges([(0, 1), (3, 4)], num_nodes=6)
+        path = tmp_path / "g.metis"
+        metis.write_metis(g, path)
+        back = metis.read_metis(path)
+        assert back == g
+        assert back.num_nodes == 6
+
+    def test_header_contents(self, k5, tmp_path):
+        path = tmp_path / "g.metis"
+        metis.write_metis(k5, path)
+        assert path.read_text().splitlines()[0] == "5 10"
+
+
+class TestParsing:
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("% a comment\n3 2\n2\n1 3\n2\n")
+        g = metis.read_metis(path)
+        assert g.num_edges == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="empty"):
+            metis.read_metis(path)
+
+    def test_weighted_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1 011\n2 5\n1 5\n")
+        with pytest.raises(GraphFormatError, match="weighted"):
+            metis.read_metis(path)
+
+    def test_vertex_count_mismatch(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")  # promises 3 vertices, gives 2
+        with pytest.raises(GraphFormatError, match="3 vertices"):
+            metis.read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 5\n2\n1 3\n2\n")
+        with pytest.raises(GraphFormatError, match="5 edges"):
+            metis.read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n9\n1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            metis.read_metis(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("42\n")
+        with pytest.raises(GraphFormatError, match="header"):
+            metis.read_metis(path)

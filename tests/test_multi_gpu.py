@@ -1,0 +1,75 @@
+"""Unit tests for the multi-GPU pipeline (paper Section III-E)."""
+
+import pytest
+
+from repro.core.forward_gpu import gpu_count_triangles
+from repro.core.multi_gpu import multi_gpu_count_triangles
+from repro.errors import DeviceError, ReproError
+from repro.gpusim.device import TESLA_C2050
+from repro.gpusim.multigpu import MultiGpuContext
+
+
+class TestCorrectness:
+    def test_counts_match_oracle(self, any_graph, oracle):
+        res = multi_gpu_count_triangles(any_graph, num_gpus=4)
+        assert res.triangles == oracle(any_graph)
+
+    def test_single_gpu_degenerate(self, small_rmat, oracle):
+        res = multi_gpu_count_triangles(small_rmat, num_gpus=1)
+        assert res.triangles == oracle(small_rmat)
+
+    def test_gpu_counts_independent_of_count(self, small_ws, oracle):
+        for n in (2, 3, 4):
+            assert multi_gpu_count_triangles(
+                small_ws, num_gpus=n).triangles == oracle(small_ws)
+
+    def test_context_mismatch_rejected(self, k5):
+        ctx = MultiGpuContext(TESLA_C2050, 2)
+        with pytest.raises(ReproError):
+            multi_gpu_count_triangles(k5, num_gpus=4, context=ctx)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(DeviceError):
+            MultiGpuContext(TESLA_C2050, 0)
+
+
+class TestTiming:
+    def test_counting_phase_shrinks(self, medium_rmat):
+        """4 devices split the merge work ~4 ways — in the paper's
+        regime of many more arcs than resident threads."""
+        one = gpu_count_triangles(medium_rmat, device=TESLA_C2050)
+        four = multi_gpu_count_triangles(medium_rmat, num_gpus=4)
+        assert four.timeline.phase_ms("count") < one.timeline.phase_ms("count")
+
+    def test_amdahl_bound(self, medium_rmat):
+        """Speedup cannot exceed what the preprocessing fraction allows
+        (Section III-E) — and must not be wildly below it either."""
+        one = gpu_count_triangles(medium_rmat, device=TESLA_C2050)
+        four = multi_gpu_count_triangles(medium_rmat, num_gpus=4)
+        speedup = one.total_ms / four.total_ms
+        f = one.timeline.preprocessing_fraction
+        amdahl_max = 1.0 / (f + (1 - f) / 4)
+        assert speedup <= amdahl_max * 1.05
+        assert speedup > 0.5  # broadcast overhead can't blow it up
+
+    def test_per_device_reports(self, small_ws):
+        res = multi_gpu_count_triangles(small_ws, num_gpus=3)
+        assert len(res.per_device) == 3
+        for report, timing in res.per_device:
+            assert timing.kernel_ms <= res.kernel_timing.kernel_ms
+
+    def test_broadcast_events_recorded(self, small_rmat):
+        res = multi_gpu_count_triangles(small_rmat, num_gpus=2)
+        assert any("broadcast" in e.name for e in res.timeline.events)
+
+
+class TestContext:
+    def test_partition_ranges_cover(self):
+        ctx = MultiGpuContext(TESLA_C2050, 4)
+        ranges = ctx.partition_ranges(1003)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 1003
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,65 @@
+"""Unit tests for GpuOptions."""
+
+import pytest
+
+from repro.core.options import GpuOptions
+from repro.errors import ReproError
+from repro.gpusim.simt import LaunchConfig
+
+
+class TestGpuOptions:
+    def test_paper_defaults(self):
+        opts = GpuOptions()
+        assert opts.unzip
+        assert opts.sort_as_u64
+        assert opts.merge_variant == "final"
+        assert opts.use_readonly_cache
+        assert opts.cpu_preprocess == "auto"
+        assert opts.launch.threads_per_block == 64
+        assert opts.launch.blocks_per_sm == 8
+
+    def test_invalid_merge_variant(self):
+        with pytest.raises(ReproError):
+            GpuOptions(merge_variant="fancy")
+
+    def test_invalid_cpu_preprocess(self):
+        with pytest.raises(ReproError):
+            GpuOptions(cpu_preprocess="sometimes")
+
+    def test_but_replaces_fields(self):
+        opts = GpuOptions().but(unzip=False,
+                                launch=LaunchConfig(128, 4))
+        assert not opts.unzip
+        assert opts.launch.threads_per_block == 128
+        # original untouched
+        assert GpuOptions().unzip
+
+    def test_but_validates(self):
+        with pytest.raises(ReproError):
+            GpuOptions().but(merge_variant="nope")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GpuOptions().unzip = False
+
+
+class TestKernelSelection:
+    def test_default_kernel(self):
+        assert GpuOptions().kernel == "two_pointer"
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ReproError):
+            GpuOptions(kernel="magic")
+
+    def test_warp_intersect_requires_soa(self):
+        with pytest.raises(ReproError, match="SoA"):
+            GpuOptions(kernel="warp_intersect", unzip=False)
+
+    def test_pipeline_dispatch(self):
+        import repro
+        g = repro.generators.rmat(8, 8, seed=6)
+        merge = repro.gpu_count_triangles(g)
+        warp = repro.gpu_count_triangles(
+            g, options=GpuOptions(kernel="warp_intersect"))
+        assert warp.triangles == merge.triangles
+        assert any("WarpIntersect" in e.name for e in warp.timeline.events)

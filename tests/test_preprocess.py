@@ -1,0 +1,173 @@
+"""Unit tests for the 8-step preprocessing phase (paper Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.options import GpuOptions
+from repro.core.preprocess import forward_mask, preprocess
+from repro.errors import OutOfDeviceMemoryError
+from repro.graphs.edgearray import EdgeArray
+from repro.gpusim.device import GTX_980
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.timing import Timeline
+
+
+def _run(graph, device=GTX_980, options=GpuOptions(), memory=None):
+    memory = memory or DeviceMemory(device)
+    timeline = Timeline()
+    return preprocess(graph, device, memory, timeline, options), timeline
+
+
+class TestForwardMask:
+    def test_orients_low_degree_to_high(self, star20):
+        deg = star20.degrees()
+        keep = forward_mask(star20.first, star20.second, deg)
+        kept_first = star20.first[keep]
+        kept_second = star20.second[keep]
+        # all kept arcs point leaf -> hub
+        assert np.all(kept_second == 0)
+        assert np.all(kept_first != 0)
+
+    def test_keeps_exactly_half(self, any_graph):
+        deg = any_graph.degrees()
+        keep = forward_mask(any_graph.first, any_graph.second, deg)
+        assert int(keep.sum()) == any_graph.num_edges
+
+    def test_tie_break_by_id(self):
+        g = EdgeArray.from_edges([(2, 5)])  # equal degrees
+        deg = g.degrees()
+        keep = forward_mask(g.first, g.second, deg)
+        assert g.first[keep].tolist() == [2]
+        assert g.second[keep].tolist() == [5]
+
+    def test_orientation_is_acyclic(self, small_rmat):
+        """≺ is a linear order, so the kept arcs form a DAG: every arc's
+        (deg, id) key strictly increases."""
+        deg = small_rmat.degrees()
+        keep = forward_mask(small_rmat.first, small_rmat.second, deg)
+        f, s = small_rmat.first[keep], small_rmat.second[keep]
+        key_f = deg[f] * (small_rmat.num_nodes + 1) + f
+        key_s = deg[s] * (small_rmat.num_nodes + 1) + s
+        assert np.all(key_f < key_s)
+
+
+class TestPreprocessStructure:
+    def test_forward_arc_count(self, any_graph):
+        pre, _ = _run(any_graph)
+        assert pre.num_forward_arcs == any_graph.num_edges
+
+    def test_node_array_shape(self, small_rmat):
+        pre, _ = _run(small_rmat)
+        node = pre.node.data
+        assert len(node) == pre.num_nodes + 1
+        assert node[0] == 0
+        assert node[-1] == pre.num_forward_arcs
+        assert np.all(np.diff(node) >= 0)
+
+    def test_adjacency_slices_sorted(self, small_ba):
+        """Each vertex's slice of the adjacency column must be ascending
+        (the two-pointer merge's precondition)."""
+        pre, _ = _run(small_ba)
+        node = pre.node.data
+        adj = pre.adj.data
+        for v in range(pre.num_nodes):
+            sl = adj[node[v]:node[v + 1]]
+            assert np.all(np.diff(sl) > 0)
+
+    def test_keys_column_is_grouped(self, small_rmat):
+        """The grouping (second) column must be non-decreasing after the
+        (second, first) sort."""
+        pre, _ = _run(small_rmat)
+        keys = pre.keys.data
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_adjacency_entries_precede_key(self, small_ws):
+        """Every adjacency entry is the arc's lower-ordered endpoint."""
+        pre, _ = _run(small_ws)
+        adj = pre.adj.data[:pre.num_forward_arcs]
+        keys = pre.keys.data
+        deg = small_ws.degrees()
+        key_adj = deg[adj] * (pre.num_nodes + 1) + adj
+        key_key = deg[keys] * (pre.num_nodes + 1) + keys
+        assert np.all(key_adj < key_key)
+
+    def test_adj_padding(self, k5):
+        pre, _ = _run(k5)
+        assert len(pre.adj.data) == pre.num_forward_arcs + 1
+
+    def test_arc_order_independent(self, small_rmat):
+        pre1, _ = _run(small_rmat)
+        pre2, _ = _run(small_rmat.shuffled(seed=3))
+        assert np.array_equal(pre1.adj.data, pre2.adj.data)
+        assert np.array_equal(pre1.node.data, pre2.node.data)
+
+    def test_aos_mode(self, k5):
+        pre, _ = _run(k5, options=GpuOptions(unzip=False))
+        assert pre.adj is None and pre.keys is None
+        aos = pre.aos.data
+        m = pre.num_forward_arcs
+        assert len(aos) == 2 * m + 2
+        # interleaved columns match the SoA run
+        pre_soa, _ = _run(k5)
+        assert np.array_equal(aos[0:2 * m:2],
+                              pre_soa.adj.data[:m])
+        assert np.array_equal(aos[1:2 * m + 1:2], pre_soa.keys.data)
+
+    def test_pair_sort_variant_same_layout(self, small_rmat):
+        fast, _ = _run(small_rmat)
+        slow, _ = _run(small_rmat, options=GpuOptions(sort_as_u64=False))
+        assert np.array_equal(fast.adj.data, slow.adj.data)
+        assert np.array_equal(fast.node.data, slow.node.data)
+
+    def test_pair_sort_charged_more(self, small_rmat):
+        _, tl_fast = _run(small_rmat)
+        _, tl_slow = _run(small_rmat, options=GpuOptions(sort_as_u64=False))
+        fast_sort = next(e.ms for e in tl_fast.events if "sort" in e.name)
+        slow_sort = next(e.ms for e in tl_slow.events if "sort" in e.name)
+        assert slow_sort > fast_sort
+
+    def test_isolated_vertices_get_empty_slices(self):
+        g = EdgeArray.from_edges([(0, 1), (1, 2), (0, 2)], num_nodes=6)
+        pre, _ = _run(g)
+        node = pre.node.data
+        assert node[4] == node[5] == node[6] == pre.num_forward_arcs
+
+
+class TestMemoryPressure:
+    def test_fits_comfortably(self, small_rmat):
+        pre, _ = _run(small_rmat)
+        assert not pre.used_cpu_fallback
+
+    def test_fallback_on_pressure(self, small_rmat):
+        """A device sized between 1× and 2× the sort footprint must take
+        the † path and still produce identical structures."""
+        footprint = small_rmat.num_arcs * 8
+        device = GTX_980.with_memory(int(footprint * 1.5))
+        pre, _ = _run(small_rmat, device=device, memory=DeviceMemory(device))
+        assert pre.used_cpu_fallback
+        direct, _ = _run(small_rmat)
+        assert np.array_equal(pre.adj.data, direct.adj.data)
+        assert np.array_equal(pre.node.data, direct.node.data)
+
+    def test_never_mode_raises(self, small_rmat):
+        footprint = small_rmat.num_arcs * 8
+        device = GTX_980.with_memory(int(footprint * 1.5))
+        with pytest.raises(OutOfDeviceMemoryError):
+            _run(small_rmat, device=device,
+                 options=GpuOptions(cpu_preprocess="never"),
+                 memory=DeviceMemory(device))
+
+    def test_always_mode_forces_fallback(self, k5):
+        pre, _ = _run(k5, options=GpuOptions(cpu_preprocess="always"))
+        assert pre.used_cpu_fallback
+
+    def test_way_too_small_raises_even_with_fallback(self, small_rmat):
+        device = GTX_980.with_memory(1024)
+        with pytest.raises(OutOfDeviceMemoryError):
+            _run(small_rmat, device=device, memory=DeviceMemory(device))
+
+    def test_fallback_charges_cpu_time(self, small_rmat):
+        footprint = small_rmat.num_arcs * 8
+        device = GTX_980.with_memory(int(footprint * 1.5))
+        _, tl = _run(small_rmat, device=device, memory=DeviceMemory(device))
+        assert any("cpu" in e.name for e in tl.events)

@@ -1,0 +1,47 @@
+"""Unit tests for the Section V related-work comparison harness."""
+
+import pytest
+
+from repro.bench.related import compare_with_green, compare_with_leist
+from repro.graphs.generators import clique_cover, barabasi_albert
+from repro.gpusim.device import GTX_980
+
+
+@pytest.fixture(scope="module")
+def copaper():
+    return clique_cover(300, 90, mean_group_size=10, seed=4)
+
+
+class TestGreenComparison:
+    def test_kernels_agree(self, copaper):
+        result = compare_with_green(copaper, GTX_980)
+        assert result.triangles > 0
+
+    def test_green_pays_binning(self, copaper):
+        """The comparator's pipeline must include binning costs beyond
+        its kernel (that's the 'much more elaborate' part)."""
+        result = compare_with_green(copaper, GTX_980)
+        green_overhead = result.green_total_ms - result.green_kernel_ms
+        polak_overhead = result.polak_total_ms - result.polak_kernel_ms
+        assert green_overhead > polak_overhead
+
+    def test_ratios_positive(self, copaper):
+        result = compare_with_green(copaper, GTX_980)
+        assert result.pipeline_ratio > 0
+        assert result.kernel_ratio > 0
+        assert "paper reports" in result.summary()
+
+
+class TestLeistComparison:
+    def test_forward_wins_by_a_lot(self):
+        g = barabasi_albert(400, 16, seed=2)
+        result = compare_with_leist(g, GTX_980)
+        assert result.advantage > 3.0
+        assert result.wedges > 0
+        assert result.merge_steps > 0
+
+    def test_model_scales_with_wedges(self):
+        small = compare_with_leist(barabasi_albert(200, 8, seed=1), GTX_980)
+        big = compare_with_leist(barabasi_albert(200, 24, seed=1), GTX_980)
+        assert big.wedges > small.wedges
+        assert big.leist_model_ms > small.leist_model_ms

@@ -1,0 +1,92 @@
+"""Unit tests for graph statistics (the paper's motivating metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import stats
+from repro.graphs.edgearray import EdgeArray
+from repro.graphs.generators import complete_graph, cycle_graph, star_graph
+
+
+class TestLocalTriangles:
+    def test_complete(self):
+        # every vertex of K5 sits on C(4,2) = 6 triangles
+        t = stats.local_triangles(complete_graph(5))
+        assert np.all(t == 6)
+
+    def test_triangle_free(self, triangle_free):
+        assert np.all(stats.local_triangles(triangle_free) == 0)
+
+    def test_shared_edge(self, two_triangles_shared_edge):
+        t = stats.local_triangles(two_triangles_shared_edge)
+        # vertices 0,1 sit on both triangles; 2,3 on one each
+        assert t.tolist() == [2, 2, 1, 1]
+
+    def test_empty_graph(self):
+        assert len(stats.local_triangles(EdgeArray.empty(0))) == 0
+
+
+class TestGlobalCounts:
+    def test_matmul_complete(self):
+        for n in (3, 4, 6, 9):
+            expected = n * (n - 1) * (n - 2) // 6
+            assert stats.triangle_count_matmul(complete_graph(n)) == expected
+
+    def test_matmul_c3_vs_c4(self):
+        assert stats.triangle_count_matmul(cycle_graph(3)) == 1
+        assert stats.triangle_count_matmul(cycle_graph(4)) == 0
+
+
+class TestClustering:
+    def test_complete_graph_coefficients_are_one(self):
+        lc = stats.local_clustering(complete_graph(6))
+        assert np.allclose(lc, 1.0)
+        assert stats.average_clustering(complete_graph(6)) == pytest.approx(1.0)
+        assert stats.transitivity(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_star_is_zero(self, star20):
+        assert stats.average_clustering(star20) == 0.0
+        assert stats.transitivity(star20) == 0.0
+
+    def test_triangle_with_pendant(self):
+        # triangle 0-1-2 plus pendant 3 on vertex 0
+        g = EdgeArray.from_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+        lc = stats.local_clustering(g)
+        assert lc[0] == pytest.approx(1 / 3)
+        assert lc[1] == pytest.approx(1.0)
+        assert lc[3] == 0.0
+        # transitivity = 3*1 / (3 + 2) wedges... wedges: deg=[3,2,2,1] ->
+        # 3+1+1+0 = 5
+        assert stats.transitivity(g) == pytest.approx(3 / 5)
+
+    def test_against_networkx(self, small_ba):
+        nx = pytest.importorskip("networkx")
+        g_nx = nx.Graph()
+        g_nx.add_nodes_from(range(small_ba.num_nodes))
+        mask = small_ba.first < small_ba.second
+        g_nx.add_edges_from(zip(small_ba.first[mask].tolist(),
+                                small_ba.second[mask].tolist()))
+        assert stats.transitivity(small_ba) == pytest.approx(
+            nx.transitivity(g_nx))
+        assert stats.average_clustering(small_ba) == pytest.approx(
+            nx.average_clustering(g_nx))
+
+    def test_empty(self):
+        assert stats.average_clustering(EdgeArray.empty(0)) == 0.0
+        assert stats.transitivity(EdgeArray.empty(5)) == 0.0
+
+
+class TestSummary:
+    def test_fields(self, k5):
+        s = stats.GraphSummary.of(k5)
+        assert s.num_nodes == 5
+        assert s.num_edges == 10
+        assert s.num_arcs == 20
+        assert s.max_degree == 4
+        assert s.mean_degree == pytest.approx(4.0)
+        assert s.triangles == 10
+
+    def test_degree_histogram(self, star20):
+        hist = stats.degree_histogram(star20)
+        assert hist[1] == 19
+        assert hist[19] == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the Thrust-primitive equivalents and their cost models."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import thrustlike
+from repro.gpusim.device import GTX_980
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.timing import Timeline
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(GTX_980)
+
+
+class TestFunctional:
+    def test_reduce_max(self, mem):
+        buf = mem.alloc("x", np.array([3, 9, 1], np.int64))
+        assert thrustlike.reduce_max(GTX_980, buf) == 9
+
+    def test_reduce_sum(self, mem):
+        buf = mem.alloc("x", np.arange(10, dtype=np.int64))
+        assert thrustlike.reduce_sum(GTX_980, buf) == 45
+
+    def test_reduce_empty(self, mem):
+        buf = mem.alloc("x", np.empty(0, np.int64))
+        assert thrustlike.reduce_max(GTX_980, buf) == 0
+        assert thrustlike.reduce_sum(GTX_980, buf) == 0
+
+    def test_sort_u64(self, mem):
+        buf = mem.alloc("x", np.array([5, 2, 9, 2], np.uint64))
+        thrustlike.sort_u64(GTX_980, buf)
+        assert buf.data.tolist() == [2, 2, 5, 9]
+
+    def test_sort_pairs(self, mem):
+        first = mem.alloc("f", np.array([3, 1, 1], np.int32))
+        second = mem.alloc("s", np.array([0, 9, 2], np.int32))
+        thrustlike.sort_pairs(GTX_980, first, second)
+        assert first.data.tolist() == [1, 1, 3]
+        assert second.data.tolist() == [2, 9, 0]
+
+    def test_remove_if(self, mem):
+        buf = mem.alloc("x", np.arange(6, dtype=np.int64))
+        kept = thrustlike.remove_if(GTX_980, buf,
+                                    np.array([1, 0, 1, 0, 1, 0], bool))
+        assert kept == 3
+        assert buf.data[:3].tolist() == [1, 3, 5]  # stable
+
+    def test_unzip(self, mem):
+        aos = mem.alloc("aos", np.array([0, 10, 1, 11, 2, 12], np.int32))
+        first, second = thrustlike.unzip(GTX_980, mem, aos)
+        assert first.data.tolist() == [0, 1, 2]
+        assert second.data.tolist() == [10, 11, 12]
+
+    def test_exclusive_scan(self, mem):
+        out = thrustlike.exclusive_scan(GTX_980, np.array([3, 1, 4]))
+        assert out.tolist() == [0, 3, 4]
+
+
+class TestCostModel:
+    def test_sort_u64_vs_pairs_ratio(self, mem):
+        """Section III-D2: the 64-bit radix sort is much faster; at the
+        paper's sizes the ratio approaches 5×."""
+        m = 1 << 20
+        tl_u64, tl_pairs = Timeline(), Timeline()
+        buf = mem.alloc("u", np.zeros(m, np.uint64))
+        thrustlike.sort_u64(GTX_980, buf, tl_u64)
+        f = mem.alloc("f", np.zeros(m, np.int32))
+        s = mem.alloc("s", np.zeros(m, np.int32))
+        thrustlike.sort_pairs(GTX_980, f, s, tl_pairs)
+        ratio = tl_pairs.total_ms / tl_u64.total_ms
+        assert 3.0 < ratio < 7.0
+
+    def test_costs_scale_with_bytes(self, mem):
+        tl_small, tl_big = Timeline(), Timeline()
+        small = mem.alloc("s", np.zeros(1000, np.uint64))
+        big = mem.alloc("b", np.zeros(1_000_000, np.uint64))
+        thrustlike.sort_u64(GTX_980, small, tl_small)
+        thrustlike.sort_u64(GTX_980, big, tl_big)
+        assert tl_big.total_ms > tl_small.total_ms * 10
+
+    def test_launch_overhead_floor(self, mem):
+        """Even a trivial op costs the kernel-launch overhead."""
+        tl = Timeline()
+        buf = mem.alloc("x", np.array([1], np.int64))
+        thrustlike.reduce_max(GTX_980, buf, tl)
+        assert tl.total_ms >= thrustlike.LAUNCH_OVERHEAD_MS
+
+    def test_timeline_optional(self, mem):
+        buf = mem.alloc("x", np.array([1], np.uint64))
+        thrustlike.sort_u64(GTX_980, buf)  # no timeline, no error

@@ -1,0 +1,106 @@
+"""Unit tests for the timing model (roofline conversion + timeline)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GTX_980, TESLA_C2050
+from repro.gpusim.simt import KernelReport, LaunchConfig
+from repro.gpusim.timing import (KernelTiming, Timeline,
+                                 achieved_bandwidth_gbs, time_kernel)
+
+
+def _report(device=GTX_980, launch=None, **kw):
+    launch = launch or LaunchConfig()
+    rep = KernelReport(device=device, launch=launch)
+    rep.sm_instruction_slots = np.zeros(device.num_sms, np.int64)
+    for key, value in kw.items():
+        setattr(rep, key, value)
+    return rep
+
+
+class TestKernelTiming:
+    def test_bound_selection(self):
+        t = KernelTiming(compute_ms=1.0, dram_ms=2.0, l2_ms=0.5, lsu_ms=0.1)
+        assert t.kernel_ms == 2.0
+        assert t.bound == "dram"
+
+    def test_compute_bound(self):
+        assert KernelTiming(3.0, 1.0, 1.0, 1.0).bound == "compute"
+
+    def test_lsu_bound(self):
+        assert KernelTiming(1.0, 1.0, 1.0, 4.0).bound == "lsu"
+
+    def test_utilization_divides(self):
+        t = KernelTiming(1.0, 2.0, 0.0, 0.0, utilization=0.5)
+        assert t.kernel_ms == 4.0
+
+
+class TestTimeKernel:
+    def test_compute_term_uses_most_loaded_sm(self):
+        rep = _report()
+        rep.sm_instruction_slots[0] = 1_000_000
+        t = time_kernel(rep)
+        expected = 1_000_000 / GTX_980.issue_width / GTX_980.clock_hz * 1e3
+        assert t.compute_ms == pytest.approx(expected)
+
+    def test_dram_term(self):
+        rep = _report(dram_bytes=10**9)
+        t = time_kernel(rep)
+        eff = GTX_980.peak_bandwidth_gbs * GTX_980.dram_efficiency
+        assert t.dram_ms == pytest.approx(10**9 / (eff * 1e9) * 1e3)
+
+    def test_low_occupancy_hurts(self):
+        low = _report(launch=LaunchConfig(32, 1), dram_bytes=10**6)
+        high = _report(launch=LaunchConfig(64, 8), dram_bytes=10**6)
+        assert time_kernel(low).kernel_ms > time_kernel(high).kernel_ms
+        assert time_kernel(low).utilization < 1.0
+        assert time_kernel(high).utilization == 1.0
+
+    def test_l2_term(self):
+        rep = _report(l2_bytes=10**9)
+        t = time_kernel(rep)
+        assert t.l2_ms == pytest.approx(
+            10**9 / (GTX_980.l2_bandwidth_gbs * 1e9) * 1e3)
+
+    def test_lsu_term(self):
+        rep = _report(transactions=16 * 1126)
+        t = time_kernel(rep)
+        assert t.lsu_ms == pytest.approx(1e-3, rel=1e-3)
+
+    def test_device_constants_matter(self):
+        rep_g = _report(GTX_980, dram_bytes=10**9)
+        rep_t = _report(TESLA_C2050, LaunchConfig(64, 8), dram_bytes=10**9)
+        rep_t.sm_instruction_slots = np.zeros(TESLA_C2050.num_sms, np.int64)
+        assert time_kernel(rep_t).dram_ms > time_kernel(rep_g).dram_ms
+
+    def test_achieved_bandwidth(self):
+        rep = _report(dram_bytes=2 * 10**6)
+        assert achieved_bandwidth_gbs(rep, 1.0) == pytest.approx(2.0)
+        assert achieved_bandwidth_gbs(rep, 0.0) == 0.0
+
+
+class TestTimeline:
+    def test_total_and_phases(self):
+        tl = Timeline()
+        tl.add("copy in", 1.0, phase="copy")
+        tl.add("sort", 2.0)
+        tl.add("kernel", 4.0, phase="count")
+        tl.add("reduce", 0.5, phase="reduce")
+        assert tl.total_ms == 7.5
+        assert tl.phase_ms("count") == 4.0
+        assert tl.breakdown() == {"copy": 1.0, "preprocess": 2.0,
+                                  "count": 4.0, "reduce": 0.5}
+
+    def test_preprocessing_fraction(self):
+        tl = Timeline()
+        tl.add("copy", 1.0, phase="copy")
+        tl.add("sort", 2.0)
+        tl.add("kernel", 7.0, phase="count")
+        assert tl.preprocessing_fraction == pytest.approx(0.3)
+
+    def test_empty_fraction(self):
+        assert Timeline().preprocessing_fraction == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().add("bad", -1.0)

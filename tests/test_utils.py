@@ -1,0 +1,65 @@
+"""Unit tests for shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_int_array, env_scale, human_bytes, human_ms, rng_from
+
+
+class TestRngFrom:
+    def test_seed_determinism(self):
+        assert rng_from(5).integers(0, 100, 10).tolist() == \
+               rng_from(5).integers(0, 100, 10).tolist()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from(gen) is gen
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(rng_from(None), np.random.Generator)
+
+
+class TestEnvScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+        assert env_scale(default=2.0) == 2.0
+
+    def test_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert env_scale() == 0.25
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ValueError):
+            env_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            env_scale()
+
+
+class TestAsIntArray:
+    def test_no_copy_when_matching(self):
+        a = np.arange(5, dtype=np.int32)
+        assert as_int_array(a, np.int32) is a
+
+    def test_converts(self):
+        out = as_int_array([1, 2, 3], np.int32)
+        assert out.dtype == np.int32
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_int_array(np.zeros((2, 2)), np.int32)
+
+
+class TestFormatting:
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.0 KiB"
+        assert human_bytes(3 * 1024**3) == "3.0 GiB"
+
+    def test_human_ms(self):
+        assert human_ms(0.5) == "0.500 ms"
+        assert human_ms(5) == "5.0 ms"
+        assert human_ms(500) == "500 ms"
+        assert human_ms(12_000) == "12.0 s"

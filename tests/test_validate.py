@@ -1,0 +1,55 @@
+"""Unit tests for edge-array contract validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.edgearray import EdgeArray
+from repro.graphs.validate import is_valid_edge_array, validate_edge_array
+
+
+def _raw(first, second, n):
+    """Build without the constructor's validation."""
+    return EdgeArray(np.array(first, np.int32), np.array(second, np.int32),
+                     num_nodes=n, check=False)
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, any_graph):
+        validate_edge_array(any_graph)
+
+    def test_empty_passes(self):
+        validate_edge_array(EdgeArray.empty(3))
+
+    def test_self_loop_rejected(self):
+        g = _raw([0, 1, 2, 2], [1, 0, 2, 2], 3)
+        with pytest.raises(GraphFormatError, match="self-loop"):
+            validate_edge_array(g)
+
+    def test_missing_reverse_arc_rejected(self):
+        g = _raw([0], [1], 2)
+        with pytest.raises(GraphFormatError, match="not symmetric"):
+            validate_edge_array(g)
+
+    def test_duplicate_arc_rejected(self):
+        g = _raw([0, 0, 1, 1], [1, 1, 0, 0], 2)
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            validate_edge_array(g)
+
+    def test_out_of_range_id_rejected(self):
+        g = _raw([0, 5], [5, 0], 3)
+        with pytest.raises(GraphFormatError, match="out of range"):
+            validate_edge_array(g)
+
+    def test_negative_id_rejected(self):
+        g = _raw([0, -1], [-1, 0], 3)
+        with pytest.raises(GraphFormatError, match="negative"):
+            validate_edge_array(g)
+
+    def test_constructor_validates_eagerly(self):
+        with pytest.raises(GraphFormatError):
+            EdgeArray([0], [1], num_nodes=2)  # asymmetric
+
+    def test_is_valid_boolean_form(self):
+        assert is_valid_edge_array(EdgeArray.from_edges([(0, 1)]))
+        assert not is_valid_edge_array(_raw([0], [1], 2))
