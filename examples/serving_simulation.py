@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""A multi-tenant triangle-counting service on a simulated GPU fleet.
+
+The paper's pipeline answers one query; this example runs it as a
+*service*: a 60-second deterministic trace of counting jobs — a zipf-
+skewed mix of R-MAT graphs plus one "whale" too large for any device —
+replayed against a fleet of four GTX 980s with
+
+* memory-aware admission control (the whale is routed to the
+  partitioned/distributed path instead of failing),
+* a per-device LRU cache of preprocessed graphs (preprocessing is
+  70–90% of a run, so repeat queries get dramatically cheaper),
+* one injected device failure mid-job: the job retries on another
+  device after exponential backoff and produces the identical count.
+
+Run:  python examples/serving_simulation.py        (~30 s wall)
+"""
+
+from repro.bench.experiments import serve_experiment
+
+
+def main() -> None:
+    print("replaying a 60 s trace against 4x GTX 980 "
+          "(3 replays: scout, faulted, cache-off)...\n")
+    exp = serve_experiment(fleet_spec="gtx980x4",
+                           duration_ms=60_000.0,
+                           rate_per_s=2.0,
+                           seed=0)
+
+    print(exp.report.format_report())
+
+    r = exp.report
+    victim = next(j for j in r.jobs if j.attempts > 0)
+    print(f"injected failure: device #{exp.fault_device} died at "
+          f"{exp.fault_at_ms:.1f} ms with job {victim.job_id} in flight;")
+    print(f"  the job retried on device #{victim.device_index} and "
+          f"finished with the same count ({victim.triangles:,} triangles)")
+
+    nc = exp.report_nocache
+    print(f"\npreprocessing cache: {r.total_service_ms:.1f} ms total device "
+          f"time vs {nc.total_service_ms:.1f} ms with the cache disabled "
+          f"({exp.cache_service_win:.2f}x less work, "
+          f"{r.cache_hit_rate:.0%} hit rate)")
+    print(f"  on the single-device path alone (the jobs the cache can "
+          f"help): {r.fast_path_service_ms:.1f} ms vs "
+          f"{nc.fast_path_service_ms:.1f} ms "
+          f"({nc.fast_path_service_ms / r.fast_path_service_ms:.1f}x)")
+    assert len(r.lost) == 0, "no job may be lost to the injected failure"
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,9 @@ from repro.cpu import (forward_count_cpu, edge_iterator_count,
                        node_iterator_count, compact_forward_count,
                        forward_hashed_count, matmul_count, approx,
                        list_triangles, TriangleListing)
+from repro.serve import (Fleet, FleetDevice, FleetScheduler, JobQueue,
+                         PreprocessCache, ServeJob, ServeReport,
+                         TraceConfig, generate_trace, serve_trace)
 
 __version__ = "1.0.0"
 
@@ -57,5 +60,9 @@ __all__ = [
     "forward_count_cpu", "edge_iterator_count", "node_iterator_count",
     "compact_forward_count", "forward_hashed_count",
     "matmul_count", "approx", "list_triangles", "TriangleListing",
+    # serve
+    "Fleet", "FleetDevice", "FleetScheduler", "JobQueue",
+    "PreprocessCache", "ServeJob", "ServeReport", "TraceConfig",
+    "generate_trace", "serve_trace",
     "__version__",
 ]

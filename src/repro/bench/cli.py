@@ -10,6 +10,7 @@ Examples::
     repro-bench gridsearch              # Section III-C launch sweep
     repro-bench inputformat multigpu baselines related
     repro-bench profile -w orkut       # nvprof-style kernel metrics
+    repro-bench serve                   # multi-tenant serving simulation
     repro-bench all --csv out_dir       # everything + CSV dumps
 
 ``REPRO_SCALE`` scales every workload (default mini scale; see DESIGN §6).
@@ -30,7 +31,7 @@ from repro.graphs.datasets import WORKLOADS, get, kronecker_names
 
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
-             "sweep", "all")
+             "sweep", "serve", "all")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -48,6 +49,14 @@ def _parser() -> argparse.ArgumentParser:
                    help="also write machine-readable CSVs into DIR")
     p.add_argument("--no-quad", action="store_true",
                    help="skip the 4-GPU configuration (faster)")
+    p.add_argument("--fleet", default="gtx980x4", metavar="SPEC",
+                   help="serve: fleet composition, e.g. gtx980x4 or "
+                        "gtx980x2,c2050 (default: %(default)s)")
+    p.add_argument("--duration", type=float, default=60.0, metavar="SEC",
+                   help="serve: simulated trace length in seconds "
+                        "(default: %(default)s)")
+    p.add_argument("--rate", type=float, default=2.0, metavar="JOBS_PER_S",
+                   help="serve: mean arrival rate (default: %(default)s)")
     return p
 
 
@@ -158,6 +167,16 @@ def main(argv: list[str] | None = None) -> int:
             run = gpu_count_triangles(g, device=dev,
                                       memory=DeviceMemory(dev))
             print(run.profile())
+
+    if "serve" in commands:
+        from repro.bench.experiments import serve_experiment
+        print("\n=== serving mode — multi-tenant trace replay ===")
+        exp = serve_experiment(fleet_spec=args.fleet,
+                               duration_ms=args.duration * 1000.0,
+                               rate_per_s=args.rate, seed=args.seed)
+        print(exp.report.format_report())
+        print(" ", exp.summary())
+        _write(args.csv, "serve_jobs.csv", exp.report.jobs_csv())
 
     if "baselines" in commands:
         print("\n=== Sections II-A / V baselines & approximations ===")

@@ -335,3 +335,87 @@ def baseline_experiment(graph: EdgeArray, seed: int = 0) -> BaselineComparison:
         node_iterator_ms=ni.elapsed_ms,
         doulion_error_pct=err(dl.estimate),
         birthday_error_pct=err(bd.triangle_estimate))
+
+
+# ---------------------------------------------------------------------- #
+# serving-mode trace replay (repro-bench serve)
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ServeExperiment:
+    """Cache-on vs cache-off replays of one deterministic trace.
+
+    ``report`` is the primary (cache-enabled) replay with one injected
+    device failure; ``report_nocache`` replays the identical trace on a
+    fresh fleet with caching disabled, isolating the preprocessing
+    cache's effect on total device service time.
+    """
+
+    report: object                # ServeReport, cache on + injected fault
+    report_nocache: object       # ServeReport, cache off, no fault
+    fault_device: int
+    fault_at_ms: float
+
+    @property
+    def cache_service_win(self) -> float:
+        on = self.report.total_service_ms
+        return self.report_nocache.total_service_ms / on if on else 0.0
+
+    def summary(self) -> str:
+        r = self.report
+        return (f"serve: {r.summary()}; cache cuts device service time "
+                f"{self.cache_service_win:.2f}x "
+                f"(fault injected on device #{self.fault_device} "
+                f"@ {self.fault_at_ms:.1f} ms)")
+
+
+def serve_experiment(fleet_spec: str = "gtx980x4",
+                     duration_ms: float = 60_000.0,
+                     rate_per_s: float = 2.0,
+                     seed: int = 0) -> ServeExperiment:
+    """Replay a deterministic trace against a simulated fleet.
+
+    Runs three replays of the *same* trace: a fault-free pass to locate
+    a job execution window to aim the injected failure at, the primary
+    cache-enabled pass with that failure (the faulted job retries on
+    another device with an identical count), and a cache-disabled pass
+    for the service-time comparison.
+    """
+    from repro.serve import (Fleet, TraceConfig, build_graph_pool,
+                             generate_trace, serve_trace, size_fleet_memory)
+
+    config = TraceConfig(seed=seed, duration_ms=duration_ms,
+                         rate_per_s=rate_per_s)
+    pool = build_graph_pool(config)
+    # Size capacity against the weakest card so the whale overflows all.
+    probe = Fleet.parse(fleet_spec)
+    weakest = min(probe, key=lambda d: d.spec.memory_bytes)
+    memory = size_fleet_memory(pool, config, weakest.spec)
+
+    def replay(inject=None, cache=True):
+        fleet = Fleet.parse(fleet_spec, memory_bytes=memory)
+        if inject is not None:
+            fleet.inject_failure(*inject)
+        return serve_trace(fleet, generate_trace(config, pool),
+                           cache_enabled=cache)
+
+    # Fault-free scout pass: aim the failure mid-window of a fast-path
+    # job so the retry machinery provably engages.
+    scout = replay()
+    victim = next(j for j in scout.done
+                  if j.device_index >= 0 and j.finish_ms > j.start_ms)
+    fault_at = (victim.start_ms + victim.finish_ms) / 2
+    report = replay(inject=(victim.device_index, fault_at))
+    # Same injected fault on the cache-off pass: the comparison must
+    # isolate the cache, not the fleet-shrinking effect of the failure.
+    nocache = replay(inject=(victim.device_index, fault_at), cache=False)
+
+    mismatched = [a.job_id for a, b in zip(report.jobs, scout.jobs)
+                  if a.status == "done" and b.status == "done"
+                  and a.triangles != b.triangles]
+    if mismatched:
+        raise ReproError(
+            f"fault retry changed triangle counts for jobs {mismatched}")
+    return ServeExperiment(report=report, report_nocache=nocache,
+                           fault_device=victim.device_index,
+                           fault_at_ms=fault_at)

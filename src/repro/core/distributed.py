@@ -48,6 +48,41 @@ def subset_weight(subset_size: int, num_parts: int) -> int:
                for s in range(subset_size, min(3, num_parts) + 1))
 
 
+def lpt_assign(costs, num_devices: int,
+               sizes=None, capacities=None) -> list[int]:
+    """Greedy longest-processing-time-first job → device assignment.
+
+    ``costs`` are the load estimates (here: subgraph arc counts); jobs
+    are placed biggest-first on the least-loaded device.  The serving
+    scheduler reuses this with the memory-aware extension: ``sizes`` are
+    per-job working-set byte estimates and ``capacities`` per-device free
+    bytes, and a job is only placed on a device that can hold it
+    (devices run their jobs sequentially, so the constraint is per job,
+    not per total).  Returns one device index per job, in input order;
+    ``-1`` marks a job that fits no device.
+    """
+    if num_devices < 1:
+        raise ReproError(f"need >= 1 device, got {num_devices}")
+    if sizes is None:
+        sizes = [0] * len(costs)
+    if capacities is None:
+        capacities = [float("inf")] * num_devices
+    if len(sizes) != len(costs):
+        raise ReproError("sizes must match costs in length")
+    if len(capacities) != num_devices:
+        raise ReproError("capacities must match num_devices in length")
+    loads = [0.0] * num_devices
+    assignment = [-1] * len(costs)
+    for i in sorted(range(len(costs)), key=lambda i: -costs[i]):
+        eligible = [d for d in range(num_devices) if sizes[i] <= capacities[d]]
+        if not eligible:
+            continue
+        dev = min(eligible, key=lambda d: (loads[d], d))
+        assignment[i] = dev
+        loads[dev] += costs[i]
+    return assignment
+
+
 @dataclass
 class DistributedJob:
     """One induced-subgraph counting job."""
@@ -133,11 +168,8 @@ def distributed_count_triangles(graph: EdgeArray,
                                        num_arcs=arcs))
 
     # LPT scheduling: biggest job to the least-loaded device.
-    loads = [0.0] * num_gpus
-    for job in sorted(jobs, key=lambda j: -j.num_arcs):
-        dev = int(np.argmin(loads))
-        job.device_index = dev
-        loads[dev] += job.num_arcs  # provisional, refined by real times
+    for job, dev in zip(jobs, lpt_assign([j.num_arcs for j in jobs], num_gpus)):
+        job.device_index = dev  # provisional load, refined by real times
 
     # Execute per device (independent memories; jobs run back to back).
     per_device_ms = [0.0] * num_gpus

@@ -83,3 +83,19 @@ class GpuOptions:
     def but(self, **changes) -> "GpuOptions":
         """A copy with the given fields replaced (ablation helper)."""
         return replace(self, **changes)
+
+    def cache_key(self) -> tuple:
+        """Stable, hashable identity of this configuration.
+
+        The serving layer keys its preprocessed-graph cache on
+        ``(graph fingerprint, options.cache_key())``; two option sets with
+        equal keys produce byte-identical device-resident structures and
+        identical kernel behaviour.  Every field is flattened to plain
+        scalars so the key survives pickling and dict/set use regardless
+        of how the nested :class:`LaunchConfig` evolves.
+        """
+        return ("gpuopts",
+                self.unzip, self.sort_as_u64, self.merge_variant,
+                self.use_readonly_cache, self.cpu_preprocess, self.kernel,
+                self.launch.threads_per_block, self.launch.blocks_per_sm,
+                self.launch.simulated_warp_size)

@@ -25,19 +25,30 @@ from repro.gpusim.device import DeviceSpec
 _ALIGN = 256
 
 
+def aligned_nbytes(nbytes: int) -> int:
+    """Bytes an allocation of ``nbytes`` occupies after ``cudaMalloc``-style
+    alignment (minimum one aligned unit, like a zero-byte ``cudaMalloc``)."""
+    return -(-max(int(nbytes), 1) // _ALIGN) * _ALIGN
+
+
 @dataclass
 class DeviceBuffer:
     """A device allocation: host-side backing array + device address.
 
     The backing ndarray holds the *functional* contents (the simulator
     computes real results); ``device_addr`` is the simulated placement
-    used for cache/coalescing address math.
+    used for cache/coalescing address math.  ``alloc_bytes`` is the
+    aligned size the allocator charged (0 for raw views built outside the
+    allocator, e.g. reinterpretations of an existing allocation); a
+    *reservation* (see :meth:`DeviceMemory.try_alloc`) has a zero-length
+    backing array but a non-zero ``alloc_bytes``.
     """
 
     name: str
     data: np.ndarray
     device_addr: int
     freed: bool = False
+    alloc_bytes: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -86,10 +97,35 @@ class DeviceMemory:
             If the aligned size does not fit in the remaining capacity.
         """
         data = np.ascontiguousarray(data)
-        size = -(-max(data.nbytes, 1) // _ALIGN) * _ALIGN
+        size = aligned_nbytes(data.nbytes)
         if size > self.free_bytes:
             raise OutOfDeviceMemoryError(requested=size, available=self.free_bytes)
-        buf = DeviceBuffer(name=name, data=data.copy(), device_addr=self._top)
+        return self._place(name, data.copy(), size)
+
+    def try_alloc(self, name: str, data) -> DeviceBuffer | None:
+        """Non-raising :meth:`alloc`: ``None`` when the request does not fit.
+
+        ``data`` may be an ndarray (placed exactly like :meth:`alloc`) or
+        an ``int`` byte count — a pure capacity *reservation* with an
+        empty backing array.  The reservation form is what admission
+        control uses to probe whether a job's working set fits without
+        exception-driven control flow and without materializing the
+        working set on the host; free the returned buffer to release it.
+        """
+        if isinstance(data, (int, np.integer)):
+            size = aligned_nbytes(data)
+            if size > self.free_bytes:
+                return None
+            return self._place(name, np.empty(0, np.uint8), size)
+        data = np.ascontiguousarray(data)
+        size = aligned_nbytes(data.nbytes)
+        if size > self.free_bytes:
+            return None
+        return self._place(name, data.copy(), size)
+
+    def _place(self, name: str, payload: np.ndarray, size: int) -> DeviceBuffer:
+        buf = DeviceBuffer(name=name, data=payload, device_addr=self._top,
+                           alloc_bytes=size)
         self._top += size
         self._live[buf.device_addr] = buf
         self.total_allocated_bytes += size
@@ -109,7 +145,8 @@ class DeviceMemory:
         # Reclaim the now-free suffix of the heap.
         if self._live:
             top_buf = self._live[max(self._live)]
-            self._top = top_buf.device_addr + (-(-max(top_buf.nbytes, 1) // _ALIGN) * _ALIGN)
+            self._top = top_buf.device_addr + (top_buf.alloc_bytes
+                                               or aligned_nbytes(top_buf.nbytes))
         else:
             self._top = 0
 

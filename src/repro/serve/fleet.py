@@ -1,0 +1,212 @@
+"""The simulated device fleet the serving layer schedules over.
+
+A :class:`Fleet` is a heterogeneous pool of :class:`FleetDevice` wrappers
+around the :mod:`repro.gpusim.device` catalog.  Each fleet device owns
+
+* a per-device :class:`~repro.serve.cache.PreprocessCache` whose resident
+  bytes are *charged against the device's global memory* — jobs placed on
+  the device run inside a :class:`~repro.gpusim.memory.DeviceMemory`
+  whose capacity is what the cache leaves free;
+* a simulated availability clock (``busy_until_ms``) the scheduler uses
+  for load-aware placement;
+* an injectable failure mode: :meth:`Fleet.inject_failure` marks a
+  device as failing permanently at a simulated timestamp.  A job whose
+  execution window straddles the failure faults mid-run and is retried
+  elsewhere by the scheduler (with exponential backoff).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.gpusim.device import DEVICES, DeviceSpec
+from repro.gpusim.memory import DeviceMemory
+from repro.serve.cache import PreprocessCache
+
+#: Fraction of a device's global memory the preprocessed-graph cache may
+#: occupy by default.  The rest stays free for job working sets.
+DEFAULT_CACHE_FRACTION = 0.25
+
+
+@dataclass
+class FleetDevice:
+    """One simulated device in the pool."""
+
+    index: int
+    key: str
+    spec: DeviceSpec
+    cache: PreprocessCache
+    #: simulated time at which the device finishes its current work.
+    busy_until_ms: float = 0.0
+    #: simulated time at which an injected failure takes the device down
+    #: permanently (None = healthy forever).
+    fail_at_ms: float | None = None
+    #: accumulated busy simulated milliseconds (utilization numerator).
+    busy_ms: float = 0.0
+    jobs_completed: int = 0
+    faults: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_bytes(self) -> int:
+        """Global memory not held by cache residents — the capacity a
+        job's working set may use."""
+        return self.spec.memory_bytes - self.cache.bytes_used
+
+    def job_memory(self) -> DeviceMemory:
+        """A fresh :class:`DeviceMemory` for one job, capacity-limited to
+        what the cache leaves free (this is how cache residency is
+        charged against device memory)."""
+        return DeviceMemory(self.spec.with_memory(max(self.free_bytes, 1)))
+
+    def alive_at(self, t_ms: float) -> bool:
+        return self.fail_at_ms is None or t_ms < self.fail_at_ms
+
+    def fails_within(self, start_ms: float, end_ms: float) -> bool:
+        """Whether the injected failure lands inside ``(start, end]``."""
+        return (self.fail_at_ms is not None
+                and start_ms < self.fail_at_ms <= end_ms)
+
+    @property
+    def throughput_proxy(self) -> float:
+        """Relative speed estimate for heterogeneous tie-breaking
+        (cores × clock — crude, but only used to order idle devices)."""
+        return self.spec.num_cores * self.spec.clock_ghz
+
+    def utilization(self, makespan_ms: float) -> float:
+        return self.busy_ms / makespan_ms if makespan_ms > 0 else 0.0
+
+    def __repr__(self) -> str:
+        state = "FAILED" if self.fail_at_ms is not None else "ok"
+        return (f"FleetDevice(#{self.index} {self.spec.name!r} {state}, "
+                f"free={self.free_bytes}, busy_until={self.busy_until_ms:.3f})")
+
+
+class Fleet:
+    """An ordered pool of fleet devices."""
+
+    def __init__(self, devices: list[FleetDevice]):
+        if not devices:
+            raise ReproError("a fleet needs at least one device")
+        self.devices = devices
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_keys(cls, keys: list[str],
+                  memory_bytes: int | None = None,
+                  cache_fraction: float = DEFAULT_CACHE_FRACTION) -> "Fleet":
+        """Build a fleet from catalog keys (``"gtx980"``, ``"c2050"``,
+        ``"nvs5200m"``).
+
+        Parameters
+        ----------
+        memory_bytes : int, optional
+            Override every device's global-memory capacity — the serving
+            benches size capacity to the workload the same way the paper
+            benches do (see ``repro.bench.runner.scaled_device``), so the
+            admission / fallback paths trigger at mini scale.
+        cache_fraction : float
+            Fraction of (possibly overridden) capacity given to the
+            preprocessed-graph cache budget.
+        """
+        if not (0.0 <= cache_fraction < 1.0):
+            raise ReproError(
+                f"cache_fraction must be in [0, 1), got {cache_fraction}")
+        devices = []
+        for i, key in enumerate(keys):
+            try:
+                spec = DEVICES[key]
+            except KeyError:
+                known = ", ".join(DEVICES)
+                raise ReproError(
+                    f"unknown device key {key!r}; known: {known}") from None
+            if memory_bytes is not None:
+                spec = spec.with_memory(memory_bytes)
+            budget = int(spec.memory_bytes * cache_fraction)
+            devices.append(FleetDevice(index=i, key=key, spec=spec,
+                                       cache=PreprocessCache(budget)))
+        return cls(devices)
+
+    @classmethod
+    def parse(cls, spec: str, **kwargs) -> "Fleet":
+        """Build from a compact CLI string, e.g. ``"gtx980x4"`` or
+        ``"gtx980x2,c2050"`` (``<key>[xN]`` comma-separated)."""
+        keys: list[str] = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            m = re.fullmatch(r"([a-z0-9]+?)(?:x(\d+))?", token)
+            if not m:
+                raise ReproError(f"bad fleet token {token!r}")
+            keys.extend([m.group(1)] * int(m.group(2) or 1))
+        return cls.from_keys(keys, **kwargs)
+
+    @classmethod
+    def homogeneous(cls, key: str, count: int, **kwargs) -> "Fleet":
+        return cls.from_keys([key] * count, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # failure injection
+    # ------------------------------------------------------------------ #
+
+    def inject_failure(self, index: int, at_ms: float) -> None:
+        """Schedule device ``index`` to fail permanently at ``at_ms``
+        (simulated).  Work in flight at that instant faults and is
+        retried elsewhere by the scheduler."""
+        if not (0 <= index < len(self.devices)):
+            raise ReproError(f"no device #{index} in a fleet of {len(self)}")
+        if at_ms < 0:
+            raise ReproError(f"failure time must be >= 0, got {at_ms}")
+        self.devices[index].fail_at_ms = float(at_ms)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    def healthy(self, t_ms: float) -> list[FleetDevice]:
+        """Devices alive at simulated time ``t_ms``."""
+        return [d for d in self.devices if d.alive_at(t_ms)]
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(d.spec.memory_bytes for d in self.devices)
+
+    @property
+    def cache_stats(self):
+        """Aggregated cache counters across the fleet."""
+        from repro.serve.cache import CacheStats
+        agg = CacheStats()
+        for d in self.devices:
+            s = d.cache.stats
+            agg.lookups += s.lookups
+            agg.hits += s.hits
+            agg.insertions += s.insertions
+            agg.evictions += s.evictions
+            agg.rejected += s.rejected
+        return agg
+
+    def describe(self) -> str:
+        """Short fleet composition label, e.g. ``"4x GTX 980"``."""
+        counts: dict[str, int] = {}
+        for d in self.devices:
+            counts[d.spec.name] = counts.get(d.spec.name, 0) + 1
+        return ", ".join(f"{n}x {name}" for name, n in counts.items())
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, index: int) -> FleetDevice:
+        return self.devices[index]
+
+    def __repr__(self) -> str:
+        return f"Fleet({self.describe()})"

@@ -1,0 +1,139 @@
+"""Deterministic serving traces.
+
+A trace is a list of :class:`~repro.serve.queue.ServeJob` with stamped
+arrival times, drawn from a small pool of distinct graphs with a
+zipf-ish popularity skew (the property that makes a preprocessed-graph
+cache pay off: most queries hit a few hot graphs).  Everything is driven
+by one ``numpy`` generator seeded from :attr:`TraceConfig.seed`, so the
+same config always yields the same trace — byte-identical counts across
+replays are an acceptance criterion, not an aspiration.
+
+The pool optionally includes one *whale*: a graph whose working set
+exceeds every device's memory, forcing the scheduler's
+partitioned/distributed fallback.  :func:`size_fleet_memory` picks a
+per-device capacity between the largest regular graph and the whale so
+both admission outcomes occur at mini scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.options import GpuOptions
+from repro.errors import ReproError
+from repro.graphs.edgearray import EdgeArray
+from repro.graphs.generators.rmat import rmat
+from repro.gpusim.device import DeviceSpec
+from repro.serve.queue import ServeJob, estimate_working_set_bytes
+
+#: RMAT scales of the regular graph pool (repeat = distinct seed).
+POOL_SCALES = (7, 7, 8, 8, 9)
+
+#: RMAT scale of the whale (must dwarf the pool's largest).
+WHALE_SCALE = 10
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of one deterministic trace."""
+
+    seed: int = 0
+    #: simulated length of the arrival window, milliseconds.
+    duration_ms: float = 60_000.0
+    #: mean arrival rate (Poisson, open loop), jobs per simulated second.
+    rate_per_s: float = 2.0
+    #: include the oversized graph that forces the distributed fallback.
+    include_whale: bool = True
+    #: probability that a given arrival queries the whale.
+    whale_prob: float = 0.04
+    #: fraction of jobs that carry a deadline.
+    deadline_prob: float = 0.5
+    #: deadline slack, milliseconds past arrival.
+    deadline_slack_ms: float = 5_000.0
+    #: priority tiers and their weights (higher tier = more urgent).
+    priorities: tuple[int, ...] = (0, 1, 2)
+    priority_weights: tuple[float, ...] = (0.7, 0.2, 0.1)
+    options: GpuOptions = field(default_factory=GpuOptions)
+
+
+def build_graph_pool(config: TraceConfig = TraceConfig()) -> list[EdgeArray]:
+    """The distinct graphs a trace queries (whale last, if any)."""
+    pool = [rmat(scale, seed=config.seed * 1000 + i)
+            for i, scale in enumerate(POOL_SCALES)]
+    if config.include_whale:
+        pool.append(rmat(WHALE_SCALE, seed=config.seed * 1000 + 99))
+    return pool
+
+
+def size_fleet_memory(pool: list[EdgeArray],
+                      config: TraceConfig,
+                      spec: DeviceSpec,
+                      cache_fraction: float = 0.25) -> int:
+    """Per-device memory override sized to the trace's graph pool.
+
+    Picks a capacity such that every regular graph fits a device even
+    when its preprocessed-graph cache is at full budget
+    (``capacity × (1 − cache_fraction)`` ≥ the largest regular working
+    set), while the whale (pool[-1], when present) fits no device and
+    must take the distributed fallback.  Without a whale, returns the
+    full-cache bound with 50% headroom.
+    """
+    regular = pool[:-1] if (config.include_whale and len(pool) > 1) else pool
+    need = max(estimate_working_set_bytes(g, config.options, spec)
+               for g in regular)
+    lo = int(need / (1.0 - cache_fraction)) + 1
+    if not config.include_whale or len(pool) < 2:
+        return int(lo * 1.5)
+    hi = estimate_working_set_bytes(pool[-1], config.options, spec)
+    if lo >= hi:
+        raise ReproError(
+            f"no capacity window: regular graphs need {lo} with a full "
+            f"cache but the whale fits from {hi}; raise WHALE_SCALE")
+    return (lo + hi) // 2
+
+
+def generate_trace(config: TraceConfig = TraceConfig(),
+                   pool: list[EdgeArray] | None = None) -> list[ServeJob]:
+    """Stamp a deterministic job trace over ``config.duration_ms``.
+
+    Popularity over the regular pool is zipf-ish (weight ``1/(rank+1)``);
+    the whale, when present, is drawn with its own fixed probability so a
+    60-second trace reliably exercises the fallback path.
+    """
+    if config.rate_per_s <= 0:
+        raise ReproError(f"rate must be > 0, got {config.rate_per_s}")
+    if pool is None:
+        pool = build_graph_pool(config)
+    if not pool:
+        raise ReproError("empty graph pool")
+
+    rng = np.random.default_rng(config.seed)
+    regular = pool[:-1] if (config.include_whale and len(pool) > 1) else pool
+    zipf = np.array([1.0 / (r + 1) for r in range(len(regular))])
+    zipf /= zipf.sum()
+    pri = np.asarray(config.priority_weights, dtype=float)
+    pri /= pri.sum()
+
+    jobs: list[ServeJob] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1000.0 / config.rate_per_s)
+        if t >= config.duration_ms:
+            break
+        if (config.include_whale and len(pool) > 1
+                and rng.random() < config.whale_prob):
+            graph = pool[-1]
+        else:
+            graph = regular[rng.choice(len(regular), p=zipf)]
+        deadline = (t + config.deadline_slack_ms
+                    if rng.random() < config.deadline_prob else None)
+        jobs.append(ServeJob(
+            job_id=len(jobs),
+            graph=graph,
+            options=config.options,
+            priority=int(config.priorities[rng.choice(len(pri), p=pri)]),
+            arrival_ms=float(t),
+            deadline_ms=deadline))
+    return jobs

@@ -1,10 +1,14 @@
 """Unit tests for distributed partitioned counting (Section VI combined)."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.core.distributed import (distributed_count_triangles,
+from repro.core.distributed import (distributed_count_triangles, lpt_assign,
                                     subset_weight)
+from repro.cpu.matmul import matmul_count
 from repro.errors import OutOfDeviceMemoryError, ReproError
+from repro.graphs.edgearray import EdgeArray
 from repro.gpusim.device import GTX_980, TESLA_C2050
 from repro.gpusim.memory import DeviceMemory
 
@@ -84,3 +88,90 @@ class TestDistributed:
     def test_redundancy_reported(self, small_ws):
         res = distributed_count_triangles(small_ws, num_gpus=2, num_parts=4)
         assert res.redundant_arc_work > small_ws.num_arcs
+
+
+class TestLptAssign:
+    def test_balances_loads(self):
+        costs = [10, 9, 8, 1, 1, 1]
+        assignment = lpt_assign(costs, 2)
+        loads = [0, 0]
+        for cost, dev in zip(costs, assignment):
+            loads[dev] += cost
+        # greedy LPT: 10 | 9, 8 — the three units then level the gap
+        assert sorted(loads) == [13, 17]
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            lpt_assign([1], 0)
+        with pytest.raises(ReproError):
+            lpt_assign([1, 2], 2, sizes=[1])
+        with pytest.raises(ReproError):
+            lpt_assign([1], 2, capacities=[10])
+
+    def test_memory_aware_placement(self):
+        # Job 0 only fits device 1; job 1 fits both; job 2 fits nowhere.
+        assignment = lpt_assign([5, 3, 4], 2,
+                                sizes=[100, 10, 900],
+                                capacities=[50, 200])
+        assert assignment[0] == 1
+        assert assignment[1] in (0, 1)
+        assert assignment[2] == -1
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_property_never_exceeds_per_device_memory(self, data):
+        """LPT placement never puts a job on a device that cannot hold
+        its working set, and any job that fits somewhere is placed."""
+        num_jobs = data.draw(st.integers(1, 12))
+        num_devs = data.draw(st.integers(1, 5))
+        costs = data.draw(st.lists(st.integers(1, 1000),
+                                   min_size=num_jobs, max_size=num_jobs))
+        sizes = data.draw(st.lists(st.integers(1, 1000),
+                                   min_size=num_jobs, max_size=num_jobs))
+        caps = data.draw(st.lists(st.integers(1, 1000),
+                                  min_size=num_devs, max_size=num_devs))
+        assignment = lpt_assign(costs, num_devs, sizes=sizes, capacities=caps)
+        for size, dev in zip(sizes, assignment):
+            if dev == -1:
+                assert all(size > c for c in caps)
+            else:
+                assert size <= caps[dev]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_property_lpt_makespan_bound(self, data):
+        """Without capacities every job is placed and the greedy makespan
+        satisfies the classic list-scheduling bound (mean + max cost)."""
+        costs = data.draw(st.lists(st.integers(1, 500), min_size=1,
+                                   max_size=20))
+        num_devs = data.draw(st.integers(1, 6))
+        assignment = lpt_assign(costs, num_devs)
+        assert all(0 <= d < num_devs for d in assignment)
+        loads = [0.0] * num_devs
+        for cost, dev in zip(costs, assignment):
+            loads[dev] += cost
+        assert max(loads) <= sum(costs) / num_devs + max(costs) + 1e-9
+
+
+@st.composite
+def random_graphs(draw, max_nodes=16, max_edges=32):
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    k = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=k, max_size=k))
+    u = np.array([p[0] for p in pairs], dtype=np.int32)
+    v = np.array([p[1] for p in pairs], dtype=np.int32)
+    return EdgeArray.from_undirected(u, v, num_nodes=n)
+
+
+class TestInclusionExclusionProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(graph=random_graphs(), num_parts=st.integers(1, 5),
+           seed=st.integers(0, 3))
+    def test_weights_sum_to_exact_count(self, graph, num_parts, seed):
+        """Σ w(Q)·count(Q) over the ≤3-subsets equals the exact triangle
+        count on arbitrary random graphs and partition seeds."""
+        res = distributed_count_triangles(graph, num_gpus=2,
+                                          num_parts=num_parts, seed=seed)
+        assert res.triangles == matmul_count(graph).triangles

@@ -56,6 +56,49 @@ class TestAlloc:
         assert mem.peak_bytes == peak_after_a
 
 
+class TestTryAlloc:
+    def test_try_alloc_success(self):
+        mem = _mem()
+        buf = mem.try_alloc("x", np.arange(10, dtype=np.int32))
+        assert buf is not None
+        assert np.array_equal(buf.data, np.arange(10))
+        assert mem.used_bytes >= 40
+
+    def test_try_alloc_oom_returns_none(self):
+        """The OOM path never raises — admission control's contract."""
+        mem = _mem(1024)
+        before = mem.used_bytes
+        assert mem.try_alloc("big", np.zeros(10_000, np.int64)) is None
+        assert mem.used_bytes == before  # nothing charged on failure
+
+    def test_try_alloc_reservation_probe(self):
+        """An int byte count reserves capacity without a host payload."""
+        mem = _mem(4096)
+        probe = mem.try_alloc("probe", 3000)
+        assert probe is not None
+        assert probe.data.nbytes == 0
+        assert mem.used_bytes == 3072  # aligned up to 256
+        assert mem.try_alloc("second", 2048) is None
+        mem.free(probe)
+        assert mem.used_bytes == 0
+        assert mem.try_alloc("second", 2048) is not None
+
+    def test_reservation_oom_returns_none(self):
+        mem = _mem(1024)
+        assert mem.try_alloc("too big", 4096) is None
+        assert mem.used_bytes == 0
+
+    def test_reservation_interoperates_with_alloc(self):
+        """A reservation charges the same capacity a real alloc would, so
+        a probe-then-run sequence sees consistent arithmetic."""
+        mem = _mem(8192)
+        probe = mem.try_alloc("probe", 4096)
+        with pytest.raises(OutOfDeviceMemoryError):
+            mem.alloc("data", np.zeros(1024, np.int64))  # 8192 B > remaining
+        mem.free(probe)
+        mem.alloc("data", np.zeros(1024, np.int64))      # fits after release
+
+
 class TestFree:
     def test_free_top_reclaims(self):
         mem = _mem()

@@ -43,6 +43,49 @@ class TestGpuOptions:
             GpuOptions().unzip = False
 
 
+class TestCacheKey:
+    """GpuOptions as a preprocessed-graph cache key (serving layer)."""
+
+    def test_frozen_and_hashable(self):
+        opts = GpuOptions()
+        assert hash(opts) == hash(GpuOptions())
+        assert opts == GpuOptions()
+        d = {opts: 1}
+        assert d[GpuOptions()] == 1
+
+    def test_cache_key_is_hashable_and_stable(self):
+        key = GpuOptions().cache_key()
+        assert hash(key) == hash(GpuOptions().cache_key())
+        assert key == GpuOptions().cache_key()
+
+    def test_equal_options_equal_keys(self):
+        a = GpuOptions(launch=LaunchConfig(128, 4))
+        b = GpuOptions(launch=LaunchConfig(128, 4))
+        assert a.cache_key() == b.cache_key()
+
+    def test_every_field_changes_the_key(self):
+        base = GpuOptions()
+        variants = [
+            base.but(unzip=False),
+            base.but(sort_as_u64=False),
+            base.but(merge_variant="preliminary"),
+            base.but(use_readonly_cache=False),
+            base.but(cpu_preprocess="always"),
+            base.but(kernel="warp_intersect"),
+            base.but(launch=LaunchConfig(128, 8)),
+            base.but(launch=LaunchConfig(64, 4)),
+            base.but(launch=LaunchConfig(64, 8, simulated_warp_size=16)),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_key_usable_as_dict_key(self):
+        cache = {}
+        cache[GpuOptions().cache_key()] = "entry"
+        assert cache[GpuOptions().cache_key()] == "entry"
+        assert GpuOptions(unzip=False).cache_key() not in cache
+
+
 class TestKernelSelection:
     def test_default_kernel(self):
         assert GpuOptions().kernel == "two_pointer"
