@@ -31,7 +31,7 @@ from repro.graphs.datasets import WORKLOADS, get, kronecker_names
 
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
-             "sweep", "serve", "all")
+             "sweep", "serve", "wallclock", "all")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -57,6 +57,15 @@ def _parser() -> argparse.ArgumentParser:
                         "(default: %(default)s)")
     p.add_argument("--rate", type=float, default=2.0, metavar="JOBS_PER_S",
                    help="serve: mean arrival rate (default: %(default)s)")
+    p.add_argument("--out", metavar="FILE",
+                   help="wallclock: also write the report as JSON "
+                        "(e.g. BENCH_kernel.json)")
+    p.add_argument("--repeats", type=int, default=3, metavar="N",
+                   help="wallclock: timed runs per engine per row "
+                        "(default: %(default)s)")
+    p.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                   help="wallclock: exit nonzero if any row's "
+                        "compacted-vs-lockstep speedup is below X")
     return p
 
 
@@ -177,6 +186,32 @@ def main(argv: list[str] | None = None) -> int:
         print(exp.report.format_report())
         print(" ", exp.summary())
         _write(args.csv, "serve_jobs.csv", exp.report.jobs_csv())
+
+    if "wallclock" in commands:
+        from repro.bench.wallclock import DEFAULT_ROWS, run_wallclock
+        print("\n=== engine wall-clock — lockstep oracle vs compacted ===")
+        wc_rows = DEFAULT_ROWS
+        if args.workloads:
+            wanted = set(args.workloads)
+            wc_rows = tuple(r for r in DEFAULT_ROWS if r[0] in wanted)
+        report = run_wallclock(wc_rows, repeats=args.repeats,
+                               seed=args.seed,
+                               progress=lambda r: print("  " + r.summary(),
+                                                        flush=True))
+        print(f"  min speedup: {report.min_speedup:.2f}x")
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(report.json_str())
+            print(f"  wrote {args.out}")
+        _write(args.csv, "wallclock.json", report.json_str())
+        if any(not r.identical for r in report.rows):
+            print("  FAIL: engines disagreed (see identical=False rows)")
+            return 1
+        if (args.min_speedup is not None
+                and report.min_speedup < args.min_speedup):
+            print(f"  FAIL: min speedup {report.min_speedup:.2f}x below "
+                  f"required {args.min_speedup:.2f}x")
+            return 1
 
     if "baselines" in commands:
         print("\n=== Sections II-A / V baselines & approximations ===")

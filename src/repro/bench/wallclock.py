@@ -1,0 +1,250 @@
+"""Host wall-clock harness: lockstep oracle vs compacted engine.
+
+The compacted engine (``GpuOptions(engine="compacted")``) exists purely
+for *host* performance — simulated-GPU results and every
+:class:`~repro.gpusim.simt.KernelReport` counter are bit-identical to
+the lockstep reference by contract.  This harness measures the quantity
+that contract buys: wall-clock seconds of ``count_triangles_kernel`` on
+this machine, engine vs engine, on the skewed workloads the compaction
+targets.
+
+Methodology (see docs/simulator.md for the discussion):
+
+* every row runs both engines ``repeats`` times **interleaved**
+  (L, C, L, C, ...) so machine drift hits both sides equally; the
+  recorded figure is the per-engine **minimum** — the ``timeit``
+  convention: higher values are caused by other processes interfering,
+  so the minimum is the least-contaminated estimate of the true cost
+  (every raw run is still recorded in the JSON);
+* the triangle count *and* the full ``counters()`` dict are compared on
+  every repeat — a row with any mismatch is marked non-identical and
+  the harness fails loudly (perf that breaks equivalence is a bug, not
+  a result);
+* rows default to the full-occupancy launch (512 threads/block x 4
+  blocks/SM - 2048 resident threads per SM, a grid-search point of
+  paper Section III-C).  More resident warps mean a bigger full-grid
+  scan for the lockstep engine and a longer skewed tail for the
+  worklist to skip, which is exactly the regime the compacted engine is
+  for; the default 64x8 launch shows the same shape with thinner
+  margins (~2.5-2.8x on the same rows, same machine);
+* one extra (untimed) compacted run per row records the
+  :mod:`~repro.gpusim.hostprof` phase breakdown, so regressions can be
+  attributed to setup / merge / cache-model / accounting without
+  rerunning anything.
+
+``repro-bench wallclock`` writes the result as ``BENCH_kernel.json``;
+CI runs a scaled-down version and fails if compacted is ever slower
+than lockstep (``--min-speedup 1.0``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.count_kernel import count_triangles_kernel
+from repro.core.options import GpuOptions
+from repro.core.preprocess import preprocess
+from repro.errors import ReproError
+from repro.gpusim.device import DEVICES
+from repro.gpusim.hostprof import HostProfiler, host_profiling
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.simt import LaunchConfig, SimtEngine
+from repro.gpusim.timing import Timeline
+from repro.graphs.datasets import WORKLOADS
+from repro.utils import env_scale
+
+#: The committed row set: the skewed (BA / Kronecker) workloads the
+#: active-set compaction targets, one skewed real-graph stand-in, and
+#: ``ws`` as the deliberately *non*-skewed contrast row (uniform degrees
+#: give the worklist little tail to skip; its speedup is expected to be
+#: the smallest of the set).
+DEFAULT_ROWS: tuple[tuple[str, float | None], ...] = (
+    ("ba", 0.0078125),
+    ("ba", 0.015625),
+    ("kron18", 0.0078125),
+    ("kron20", None),
+    ("internet", None),
+    ("ws", None),
+)
+
+#: Full-occupancy launch (see module docstring).
+DEFAULT_LAUNCH = LaunchConfig(threads_per_block=512, blocks_per_sm=4)
+
+
+@dataclass
+class WallclockRow:
+    """One workload's engine-vs-engine measurement."""
+
+    workload: str
+    scale: float | None
+    nodes: int
+    arcs: int
+    triangles: int
+    lockstep_s: float               # min over repeats (timeit convention)
+    compacted_s: float
+    lockstep_runs: list = field(default_factory=list)
+    compacted_runs: list = field(default_factory=list)
+    identical: bool = True          # counters() equal on every repeat
+    host_profile: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.lockstep_s / self.compacted_s if self.compacted_s else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scale": self.scale,
+            "nodes": self.nodes,
+            "arcs": self.arcs,
+            "triangles": self.triangles,
+            "lockstep_s": round(self.lockstep_s, 4),
+            "compacted_s": round(self.compacted_s, 4),
+            "speedup": round(self.speedup, 2),
+            "lockstep_runs": [round(t, 4) for t in self.lockstep_runs],
+            "compacted_runs": [round(t, 4) for t in self.compacted_runs],
+            "identical": self.identical,
+            "host_profile": self.host_profile,
+        }
+
+    def summary(self) -> str:
+        scale = "default" if self.scale is None else f"{self.scale:g}"
+        return (f"{self.workload:<10} scale={scale:<9} "
+                f"lockstep={self.lockstep_s:7.2f}s "
+                f"compacted={self.compacted_s:7.2f}s "
+                f"speedup={self.speedup:5.2f}x "
+                f"identical={self.identical}")
+
+
+@dataclass
+class WallclockReport:
+    """The full harness result — what ``BENCH_kernel.json`` serializes."""
+
+    rows: list
+    device: str
+    launch: LaunchConfig
+    repeats: int
+    seed: int
+
+    @property
+    def min_speedup(self) -> float:
+        return min((r.speedup for r in self.rows), default=0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "count_kernel_wallclock",
+            "device": self.device,
+            "launch": {
+                "threads_per_block": self.launch.threads_per_block,
+                "blocks_per_sm": self.launch.blocks_per_sm,
+                "simulated_warp_size": self.launch.simulated_warp_size,
+            },
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "host": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+            },
+            "rows": [r.to_json() for r in self.rows],
+        }
+
+    def json_str(self) -> str:
+        return json.dumps(self.to_json(), indent=2) + "\n"
+
+    def format_report(self) -> str:
+        lines = ["==BENCH== count-kernel host wall-clock "
+                 f"(device={self.device}, launch="
+                 f"{self.launch.threads_per_block}x"
+                 f"{self.launch.blocks_per_sm}, "
+                 f"best of {self.repeats})"]
+        for row in self.rows:
+            lines.append("  " + row.summary())
+        lines.append(f"  min speedup: {self.min_speedup:.2f}x")
+        return "\n".join(lines) + "\n"
+
+
+def _counters_of(result_engine: SimtEngine) -> dict:
+    return result_engine.report.counters()
+
+
+def run_row(name: str, scale: float | None, *,
+            repeats: int = 3, seed: int = 0, device_name: str = "gtx980",
+            launch: LaunchConfig = DEFAULT_LAUNCH) -> WallclockRow:
+    """Measure one workload row, both engines interleaved."""
+    if name not in WORKLOADS:
+        raise ReproError(f"unknown workload {name!r}")
+    # Explicit row scales honour REPRO_SCALE too (``None`` already does,
+    # via ``Workload.build``), so CI can shrink the whole harness.
+    build_scale = scale if scale is None else scale * env_scale()
+    graph = WORKLOADS[name].build(scale=build_scale, seed=seed)
+    device = DEVICES[device_name]
+    launch.validate(device)
+
+    pres = {}
+    for engine_name in ("lockstep", "compacted"):
+        opts = GpuOptions(engine=engine_name, launch=launch)
+        pres[engine_name] = (opts, preprocess(graph, device,
+                                              DeviceMemory(device),
+                                              Timeline(), opts))
+
+    runs: dict[str, list] = {"lockstep": [], "compacted": []}
+    baseline = None
+    identical = True
+    triangles = 0
+    for _ in range(repeats):
+        per_rep = {}
+        for engine_name in ("lockstep", "compacted"):
+            opts, pre = pres[engine_name]
+            engine = SimtEngine(device, launch)
+            t0 = perf_counter()
+            result = count_triangles_kernel(engine, pre, opts)
+            runs[engine_name].append(perf_counter() - t0)
+            per_rep[engine_name] = (result.triangles,
+                                    _counters_of(engine))
+            triangles = result.triangles
+        if baseline is None:
+            baseline = per_rep["lockstep"]
+        for engine_name in ("lockstep", "compacted"):
+            if per_rep[engine_name] != baseline:
+                identical = False
+
+    # One untimed, profiled compacted run for phase attribution.
+    profiler = HostProfiler()
+    with host_profiling(profiler):
+        opts, pre = pres["compacted"]
+        engine = SimtEngine(device, launch)
+        count_triangles_kernel(engine, pre, opts)
+
+    return WallclockRow(
+        workload=name, scale=scale,
+        nodes=graph.num_nodes, arcs=pres["compacted"][1].num_forward_arcs,
+        triangles=triangles,
+        lockstep_s=min(runs["lockstep"]),
+        compacted_s=min(runs["compacted"]),
+        lockstep_runs=runs["lockstep"],
+        compacted_runs=runs["compacted"],
+        identical=identical,
+        host_profile=profiler.breakdown(),
+    )
+
+
+def run_wallclock(rows=DEFAULT_ROWS, *, repeats: int = 3, seed: int = 0,
+                  device_name: str = "gtx980",
+                  launch: LaunchConfig = DEFAULT_LAUNCH,
+                  progress=None) -> WallclockReport:
+    """Run the harness over ``rows`` (``(workload, scale)`` pairs)."""
+    measured = []
+    for name, scale in rows:
+        row = run_row(name, scale, repeats=repeats, seed=seed,
+                      device_name=device_name, launch=launch)
+        if progress is not None:
+            progress(row)
+        measured.append(row)
+    return WallclockReport(rows=measured, device=device_name, launch=launch,
+                           repeats=repeats, seed=seed)

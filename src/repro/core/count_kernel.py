@@ -24,6 +24,7 @@ Table II counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -64,6 +65,11 @@ def count_triangles_kernel(engine: SimtEngine,
                            ) -> CountKernelResult:
     """Execute ``CountTriangles`` over arcs ``[lo, hi)`` on ``engine``.
 
+    Dispatches on ``options.engine``: the active-set-compacted fast path
+    (default) or this module's lockstep reference — both produce
+    bit-identical results and :class:`~repro.gpusim.simt.KernelReport`
+    counters; only host wall-clock differs (see docs/simulator.md).
+
     ``result_buf``, when given, receives the per-thread counts through a
     modelled device write (length must be ``engine.num_threads``).
 
@@ -72,6 +78,29 @@ def count_triangles_kernel(engine: SimtEngine,
     clustering-coefficient application needs (every match at edge
     ``(u, v)`` with common neighbor ``w`` increments all three).
     """
+    if options.engine == "compacted":
+        from repro.core.count_kernel_compacted import \
+            count_triangles_compacted
+
+        return count_triangles_compacted(engine, pre, options, lo=lo, hi=hi,
+                                         result_buf=result_buf,
+                                         per_vertex_buf=per_vertex_buf)
+    return count_triangles_lockstep(engine, pre, options, lo=lo, hi=hi,
+                                    result_buf=result_buf,
+                                    per_vertex_buf=per_vertex_buf)
+
+
+def count_triangles_lockstep(engine: SimtEngine,
+                             pre: PreprocessResult,
+                             options: GpuOptions = GpuOptions(),
+                             lo: int = 0,
+                             hi: int | None = None,
+                             result_buf: DeviceBuffer | None = None,
+                             per_vertex_buf: DeviceBuffer | None = None,
+                             ) -> CountKernelResult:
+    """The full-grid lockstep reference — the equivalence oracle the
+    compacted engine is validated against (per-lane state in full-``T``
+    arrays, every tick scans the whole grid)."""
     m = pre.num_forward_arcs
     hi = m if hi is None else hi
     if not (0 <= lo <= hi <= m):
@@ -108,6 +137,7 @@ def count_triangles_kernel(engine: SimtEngine,
 
     warp_phase = np.full(W, _LOAD, np.int8)
     ticks = 0
+    prof = engine.host_profiler
 
     def _adj_read(indices: np.ndarray, lanes: np.ndarray) -> np.ndarray:
         """Adjacency-content read: ``edge[idx]`` (stride-2 in AoS mode)."""
@@ -121,6 +151,7 @@ def count_triangles_kernel(engine: SimtEngine,
         # ---------------- setup (the for-loop body head) ---------------- #
         load_w = warp_phase == _LOAD
         if load_w.any():
+            t0 = perf_counter() if prof is not None else 0.0
             in_load = load_w[warp_of]
             has_edge = in_load & (cur < hi)
             lanes = tid[has_edge]
@@ -162,10 +193,13 @@ def count_triangles_kernel(engine: SimtEngine,
             had = has_edge.reshape(W, ws).any(axis=1)
             warp_phase[load_w & had] = _MERGE
             warp_phase[load_w & ~had] = _DONE
+            if prof is not None:
+                prof.add("setup", perf_counter() - t0)
 
         # ---------------- merge (the while loop) ------------------------ #
         merge_w = warp_phase == _MERGE
         if merge_w.any():
+            t0 = perf_counter() if prof is not None else 0.0
             act = merge_active & merge_w[warp_of]
             lanes = tid[act]
             if len(lanes):
@@ -215,6 +249,8 @@ def count_triangles_kernel(engine: SimtEngine,
                 fin_lanes = finished_w[warp_of]
                 cur[fin_lanes] += T
                 warp_phase[finished_w] = _LOAD
+            if prof is not None:
+                prof.add("merge", perf_counter() - t0)
 
     triangles = int(count.sum())
     if result_buf is not None:

@@ -1,0 +1,333 @@
+"""Active-set-compacted execution of ``CountTriangles``.
+
+Same simulated machine as :mod:`repro.core.count_kernel`'s lockstep
+reference, different *host* data layout.  The lockstep engine keeps
+per-lane registers in full-grid arrays indexed by all ``T`` global lane
+ids and rescans them every tick; late in a skewed graph that means
+scanning thousands of finished lanes to find the handful still merging.
+This engine instead keeps
+
+* a **worklist of live warps** — tiny ``W``-sized ``phase`` /
+  ``rounds`` / ``remaining`` arrays plus an ``alive`` counter; a warp
+  in ``_DONE`` costs nothing ever again;
+* a **compact lane pool** — the registers of exactly the lanes whose
+  intersection is still running (``u_it/u_end/v_it/v_end/a/b/count``),
+  packed dense in preallocated backing arrays.  Lanes are appended when
+  their warp's setup block runs and filtered out (with their ``count``
+  scattered back to the full per-thread array) the iteration they
+  exhaust — so every merge tick is a handful of dense vector ops over
+  the live lanes, with no full-grid masks and no fancy-indexing into
+  2-D register files;
+* a **fused merge stepper** — whenever no live warp is in ``_LOAD``
+  (the dominant regime: one setup tick per arc batch, then many merge
+  ticks), the inner loop runs merge iterations back to back without
+  re-deriving anything, returning to the setup path only when a warp
+  reconverges.
+
+The memory model runs through the engine's fused fast path
+(:meth:`~repro.gpusim.simt.SimtEngine.read_compacted` /
+:meth:`~repro.gpusim.simt.SimtEngine.end_step_warps`), which the pool
+layout enables: coalescing and both cache levels are order-independent
+over the request *multiset* of a batch, so the pool never has to keep
+lanes sorted, and the engine never has to reconstruct per-request
+hit masks.
+
+Equivalence is the design contract, not an aspiration: every tick
+issues the same (index, lane) multisets, in the same per-tick grouping,
+as the lockstep reference — so coalescing, cache-state evolution, and
+every :class:`~repro.gpusim.simt.KernelReport` counter (including
+``sm_instruction_slots`` and ``ticks``) are bit-identical.
+``tests/test_engine_equivalence.py`` enforces this across the full
+option matrix.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.count_kernel import _DONE, _LOAD, _MERGE, CountKernelResult
+from repro.core.options import GpuOptions
+from repro.core.preprocess import PreprocessResult
+from repro.errors import ReproError
+from repro.gpusim.memory import DeviceBuffer
+from repro.gpusim.simt import SimtEngine
+from repro.gpusim.timing import MERGE_INSTRUCTIONS, SETUP_INSTRUCTIONS
+
+
+def count_triangles_compacted(engine: SimtEngine,
+                              pre: PreprocessResult,
+                              options: GpuOptions = GpuOptions(),
+                              lo: int = 0,
+                              hi: int | None = None,
+                              result_buf: DeviceBuffer | None = None,
+                              per_vertex_buf: DeviceBuffer | None = None,
+                              ) -> CountKernelResult:
+    """Execute ``CountTriangles`` over arcs ``[lo, hi)`` — compacted path.
+
+    Drop-in equivalent of the lockstep reference (same signature, same
+    results, same report); see the module docstring for the contract.
+    """
+    m = pre.num_forward_arcs
+    hi = m if hi is None else hi
+    if not (0 <= lo <= hi <= m):
+        raise ReproError(f"arc range [{lo}, {hi}) outside [0, {m})")
+
+    unzipped = pre.aos is None
+    if unzipped:
+        adj, keys = pre.adj, pre.keys
+    else:
+        adj = keys = pre.aos
+    node = pre.node
+    final_variant = options.merge_variant == "final"
+
+    T = engine.num_threads
+    ws = engine.warp_size
+    ws_shift = ws.bit_length() - 1    # warp sizes divide 32: always pow2
+    W = engine.num_warps
+    prof = engine.host_profiler
+    read = engine.read_compacted
+    track_corners = per_vertex_buf is not None
+
+    # Worklist of live warps.  A lane's arc cursor is derived, never
+    # stored: ``cur = lo + lane + rounds[warp] * T`` (the grid-stride
+    # loop), so reconvergence is a counter bump, not a register sweep.
+    phase = np.full(W, _LOAD, np.int8)
+    rounds = np.zeros(W, np.int64)
+    remaining = np.zeros(W, np.int64)   # pool lanes per warp
+    alive = W
+    load_pending = True
+
+    # Compact lane pool: registers of the lanes mid-intersection, packed
+    # dense in [0, n).  Capacity T is the hard bound (every lane of
+    # every warp merging at once).
+    p_lane = np.empty(T, np.int64)
+    p_uit = np.empty(T, np.int64)
+    p_uend = np.empty(T, np.int64)
+    p_vit = np.empty(T, np.int64)
+    p_vend = np.empty(T, np.int64)
+    p_a = np.empty(T, np.int64)
+    p_b = np.empty(T, np.int64)
+    p_cnt = np.empty(T, np.uint64)
+    if track_corners:
+        p_lu = np.empty(T, np.int64)
+        p_lv = np.empty(T, np.int64)
+    pool = [p_lane, p_uit, p_uend, p_vit, p_vend, p_a, p_b, p_cnt]
+    if track_corners:
+        pool += [p_lu, p_lv]
+    n = 0
+    # Scratch for the merge tick's read batch (advanced u heads then
+    # advanced v heads), filled with ``np.take(..., out=...)`` — no
+    # per-tick concatenate/boolean-mask allocations.
+    sc_idx = np.empty(2 * T, np.int64)
+    sc_lane = np.empty(2 * T, np.int64)
+    # The live-warp list only changes when lanes retire or a setup tick
+    # runs; cache it between those events.
+    mw_cache: list = [None, None]
+
+    count_full = np.zeros(T, np.uint64)
+    lane_off = np.arange(ws, dtype=np.int64)
+    ticks = 0
+
+    def _setup_tick() -> int:
+        """Setup blocks of every ``_LOAD`` warp; appends the lanes that
+        enter the merge loop to the pool.  Returns the new pool size."""
+        nonlocal alive, n
+        load_w = np.flatnonzero(phase == _LOAD)
+        lanes2d = load_w[:, None] * ws + lane_off[None, :]
+        cur2d = lo + lanes2d + (rounds[load_w] * T)[:, None]
+        has = cur2d < hi
+        had = has.any(axis=1)
+        if had.any():
+            lanes = lanes2d[has]
+            e = cur2d[has]
+            if unzipped:
+                u = read(adj, e, lanes)           # edge[i]
+                v = read(keys, e, lanes)          # edge[m + i]
+            else:
+                u = read(adj, 2 * e, lanes)
+                v = read(keys, 2 * e + 1, lanes)
+            u = u.astype(np.int64, copy=False)
+            v = v.astype(np.int64, copy=False)
+            # The four node-array loads issue back to back, batched into
+            # one engine call exactly like the lockstep reference.
+            k = len(lanes)
+            node_idx = np.empty(4 * k, np.int64)
+            node_idx[:k] = u
+            np.add(u, 1, out=node_idx[k:2 * k])
+            node_idx[2 * k:3 * k] = v
+            np.add(v, 1, out=node_idx[3 * k:])
+            node_lanes = np.empty(4 * k, np.int64)
+            for j in range(4):
+                node_lanes[j * k:(j + 1) * k] = lanes
+            nvals = read(node, node_idx, node_lanes).astype(np.int64,
+                                                           copy=False)
+            nu, nu1, nv, nv1 = (nvals[:k], nvals[k:2 * k],
+                                nvals[2 * k:3 * k], nvals[3 * k:])
+            # Unconditional initial loads, as in the listing.
+            if unzipped:
+                ab = read(adj, np.concatenate([nu, nv]),
+                          np.concatenate([lanes, lanes]))
+            else:
+                ab = read(adj, 2 * np.concatenate([nu, nv]),
+                          np.concatenate([lanes, lanes]))
+            engine.end_step_warps("setup", load_w[had],
+                                  has.sum(axis=1)[had], SETUP_INSTRUCTIONS)
+            # Pool append: only lanes with a non-empty intersection to
+            # run (the rest keep their counts in ``count_full``).
+            mact = (nu < nu1) & (nv < nv1)
+            k2 = int(mact.sum())
+            if k2:
+                sel_lanes = lanes[mact]
+                p_lane[n:n + k2] = sel_lanes
+                p_uit[n:n + k2] = nu[mact]
+                p_uend[n:n + k2] = nu1[mact]
+                p_vit[n:n + k2] = nv[mact]
+                p_vend[n:n + k2] = nv1[mact]
+                p_a[n:n + k2] = ab[:k][mact]
+                p_b[n:n + k2] = ab[k:][mact]
+                p_cnt[n:n + k2] = count_full[sel_lanes]
+                if track_corners:
+                    p_lu[n:n + k2] = u[mact]
+                    p_lv[n:n + k2] = v[mact]
+                n += k2
+                np.add(remaining, np.bincount(sel_lanes >> ws_shift,
+                                              minlength=W), out=remaining)
+                mw_cache[0] = None
+        # Warp transitions.  ``had`` warps enter the merge loop — except
+        # those contributing zero active lanes, which reconverge within
+        # this same tick (the lockstep reference sends them _LOAD →
+        # _MERGE → _LOAD with no memory trace) and so simply advance.
+        w_had = load_w[had]
+        entered = remaining[w_had] > 0
+        phase[w_had[entered]] = _MERGE
+        rounds[w_had[~entered]] += 1
+        retired = load_w[~had]
+        if len(retired):
+            phase[retired] = _DONE
+            alive -= len(retired)
+        return n
+
+    def _merge_tick() -> None:
+        """One merge-loop iteration over the whole pool — the identical
+        per-iteration memory trace of one lockstep merge tick."""
+        nonlocal n, load_pending
+        lanes = p_lane[:n]
+        uit = p_uit[:n]
+        vit = p_vit[:n]
+        if not final_variant:
+            # Preliminary variant: both list heads re-read every
+            # iteration (two loads per active lane).
+            if unzipped:
+                ab = read(adj, np.concatenate([uit, vit]),
+                          np.concatenate([lanes, lanes]))
+            else:
+                ab = read(adj, 2 * np.concatenate([uit, vit]),
+                          np.concatenate([lanes, lanes]))
+            p_a[:n] = ab[:n]
+            p_b[:n] = ab[n:]
+        a = p_a[:n]
+        b = p_b[:n]
+        le = a <= b
+        ge = a >= b
+        eq = le & ge
+        p_cnt[:n] += eq
+        if track_corners and eq.any():
+            mlanes = lanes[eq]
+            # Three atomicAdds per triangle: u, v, and the common
+            # neighbor (the matched value).
+            corners = np.concatenate([p_lu[:n][eq], p_lv[:n][eq],
+                                      a[eq]])
+            engine.atomic_add(per_vertex_buf, corners,
+                              np.ones(len(corners), np.int64),
+                              np.concatenate([mlanes, mlanes, mlanes]))
+        uit += le
+        vit += ge
+        if final_variant:
+            # Final variant: read only what advanced — one load per
+            # iteration unless a triangle was found (pad slot absorbs
+            # the one-past-the-end read, Section III-D3).
+            il = np.flatnonzero(le)
+            ig = np.flatnonzero(ge)
+            k1 = len(il)
+            kk = k1 + len(ig)
+            np.take(uit, il, out=sc_idx[:k1])
+            np.take(vit, ig, out=sc_idx[k1:kk])
+            np.take(lanes, il, out=sc_lane[:k1])
+            np.take(lanes, ig, out=sc_lane[k1:kk])
+            idx = sc_idx[:kk]
+            if not unzipped:
+                idx = 2 * idx
+            vals = read(adj, idx, sc_lane[:kk])
+            p_a[il] = vals[:k1]
+            p_b[ig] = vals[k1:kk]
+        mw = mw_cache[0]
+        if mw is None:
+            mw = np.flatnonzero(remaining)
+            mw_cache[0] = mw
+            mw_cache[1] = remaining[mw]
+        engine.end_step_warps("merge", mw, mw_cache[1],
+                              MERGE_INSTRUCTIONS)
+        still = uit < p_uend[:n]
+        still &= vit < p_vend[:n]
+        new_n = int(np.count_nonzero(still))
+        if new_n == n:
+            return
+        # Retirement: scatter counts back and close the pool's holes by
+        # moving *tail survivors* into them — O(retired) work, not
+        # O(pool); the pool is unordered by contract (the memory model
+        # is order-independent over each tick's request multiset).
+        fin_idx = np.flatnonzero(~still)
+        exit_lanes = p_lane[fin_idx]
+        count_full[exit_lanes] = p_cnt[fin_idx]
+        np.subtract(remaining, np.bincount(exit_lanes >> ws_shift,
+                                           minlength=W), out=remaining)
+        mw_cache[0] = None
+        holes = fin_idx[fin_idx < new_n]
+        if len(holes):
+            src = np.flatnonzero(still[new_n:n]) + new_n
+            for arr in pool:
+                arr[holes] = arr[src]
+        n = new_n
+        reconv = np.flatnonzero((remaining == 0) & (phase == _MERGE))
+        if len(reconv):
+            # Reconverged warps advance to the next grid-stride arc; the
+            # next tick runs their setup block.
+            rounds[reconv] += 1
+            phase[reconv] = _LOAD
+            load_pending = True
+
+    while alive:
+        if load_pending:
+            ticks += 1
+            t0 = perf_counter() if prof is not None else 0.0
+            _setup_tick()
+            load_pending = bool((phase == _LOAD).any())
+            if prof is not None:
+                prof.add("setup", perf_counter() - t0)
+            if n:
+                t0 = perf_counter() if prof is not None else 0.0
+                _merge_tick()
+                if prof is not None:
+                    prof.add("merge", perf_counter() - t0)
+            continue
+        if not n:
+            break  # unreachable: alive warps are _LOAD or mid-merge
+        # Fused merge stepping: no warp needs a setup block until one
+        # reconverges, so iterate the pool back to back.
+        t0 = perf_counter() if prof is not None else 0.0
+        fused = 0
+        while n and not load_pending:
+            ticks += 1
+            fused += 1
+            _merge_tick()
+        if prof is not None:
+            prof.add("merge", perf_counter() - t0, calls=fused)
+
+    triangles = int(count_full.sum())
+    if result_buf is not None:
+        tid = np.arange(T, dtype=np.int64)
+        engine.write(result_buf, tid, count_full, tid)
+    return CountKernelResult(thread_counts=count_full, triangles=triangles,
+                             ticks=ticks)

@@ -18,6 +18,8 @@ CPU_PREPROCESS_MODES = ("auto", "never", "always")
 MERGE_VARIANTS = ("final", "preliminary")
 #: Valid values for :attr:`GpuOptions.kernel`.
 KERNELS = ("two_pointer", "warp_intersect")
+#: Valid values for :attr:`GpuOptions.engine`.
+ENGINES = ("compacted", "lockstep")
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,15 @@ class GpuOptions:
         thread-per-edge merge; ``"warp_intersect"`` is the Section V
         comparator's warp-per-edge parallel intersection (requires the
         SoA layout, and the "merge_variant" knob does not apply to it).
+    engine : str
+        Host-side execution strategy of the SIMT simulator — a pure
+        wall-clock knob with **no modeled effect**: ``"compacted"``
+        (default) runs the active-set-compacted fast path whose per-tick
+        host work scales with live lanes; ``"lockstep"`` is the original
+        full-grid reference, retained as the equivalence oracle.  Both
+        produce bit-identical counts and :class:`KernelReport` counters
+        (enforced by ``tests/test_engine_equivalence.py``), which is why
+        this field is *excluded* from :meth:`cache_key`.
     """
 
     unzip: bool = True
@@ -62,6 +73,7 @@ class GpuOptions:
     launch: LaunchConfig = field(default_factory=LaunchConfig)
     cpu_preprocess: str = "auto"
     kernel: str = "two_pointer"
+    engine: str = "compacted"
 
     def __post_init__(self):
         if self.merge_variant not in MERGE_VARIANTS:
@@ -75,6 +87,9 @@ class GpuOptions:
         if self.kernel not in KERNELS:
             raise ReproError(
                 f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.engine not in ENGINES:
+            raise ReproError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
         if self.kernel == "warp_intersect" and not self.unzip:
             raise ReproError(
                 "the warp_intersect kernel requires the SoA layout "
@@ -93,6 +108,10 @@ class GpuOptions:
         identical kernel behaviour.  Every field is flattened to plain
         scalars so the key survives pickling and dict/set use regardless
         of how the nested :class:`LaunchConfig` evolves.
+
+        ``engine`` is deliberately absent: it changes only how fast the
+        *host* simulates, never what is simulated, so runs under either
+        engine may share cached preprocessing and memoized results.
         """
         return ("gpuopts",
                 self.unzip, self.sort_as_u64, self.merge_variant,

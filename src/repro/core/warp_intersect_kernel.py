@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.options import GpuOptions
 from repro.core.preprocess import PreprocessResult
 from repro.errors import ReproError
 from repro.gpusim.memory import DeviceBuffer
@@ -54,11 +55,19 @@ def warp_intersect_kernel(engine: SimtEngine,
                           lo: int = 0,
                           hi: int | None = None,
                           result_buf: DeviceBuffer | None = None,
+                          options: GpuOptions | None = None,
                           ) -> WarpIntersectResult:
     """Count triangles with warp-per-edge parallel intersections.
 
     Only the unzipped (SoA) layout is supported — the strategy's chunk
     gathers assume contiguous columns.
+
+    ``options.engine`` selects the host execution path exactly as in
+    :func:`~repro.core.count_kernel.count_triangles_kernel`: the default
+    "compacted" routes reads through the engine's fused fast path and
+    feeds accounting the per-warp lane counts this kernel already
+    tracks; "lockstep" keeps the reference path.  Both produce
+    bit-identical counters (``tests/test_engine_equivalence.py``).
     """
     if pre.aos is not None:
         raise ReproError("warp_intersect_kernel requires the SoA layout "
@@ -68,6 +77,9 @@ def warp_intersect_kernel(engine: SimtEngine,
     hi = m if hi is None else hi
     if not (0 <= lo <= hi <= m):
         raise ReproError(f"arc range [{lo}, {hi}) outside [0, {m})")
+
+    compacted = (options or GpuOptions()).engine == "compacted"
+    read = engine.read_compacted if compacted else engine.read
 
     T = engine.num_threads
     ws = engine.warp_size
@@ -99,10 +111,10 @@ def warp_intersect_kernel(engine: SimtEngine,
             if len(w_ids):
                 leaders = w_ids * ws  # lane 0 of each warp does the loads
                 e = cur[w_ids]
-                u = engine.read(adj, e, leaders).astype(np.int64)
-                v = engine.read(keys, e, leaders).astype(np.int64)
+                u = read(adj, e, leaders).astype(np.int64)
+                v = read(keys, e, leaders).astype(np.int64)
                 k = len(w_ids)
-                nvals = engine.read(
+                nvals = read(
                     node,
                     np.concatenate([u, u + 1, v, v + 1]),
                     np.concatenate([leaders] * 4)).astype(np.int64)
@@ -116,7 +128,13 @@ def warp_intersect_kernel(engine: SimtEngine,
                 long_lo[w_ids] = np.where(u_short, vlo, ulo)
                 long_hi[w_ids] = np.where(u_short, vhi_, uhi_)
                 chunk[w_ids] = 0
-                engine.end_step("setup", leaders, SETUP_INSTRUCTIONS)
+                if compacted:
+                    # One leader lane per distinct warp — counts known.
+                    engine.end_step_warps("setup", w_ids,
+                                          np.ones(k, np.int64),
+                                          SETUP_INSTRUCTIONS)
+                else:
+                    engine.end_step("setup", leaders, SETUP_INSTRUCTIONS)
             has_edge = loading & (cur < hi)
             phase[has_edge] = _CHUNK
             phase[loading & ~has_edge] = _DONE
@@ -138,8 +156,15 @@ def warp_intersect_kernel(engine: SimtEngine,
             valid = elem_idx < short_hi[w_ids][:, None]
             lanes = lanes_2d[valid]
             idx = elem_idx[valid]
-            targets = engine.read(adj, idx, lanes).astype(np.int64)
-            engine.end_step("chunk", lanes, CHUNK_INSTRUCTIONS)
+            targets = read(adj, idx, lanes).astype(np.int64)
+            if compacted:
+                # Every chunking warp has >= 1 valid lane (exhausted
+                # warps left _CHUNK), so ``w_ids`` are the warps.
+                engine.end_step_warps("chunk", w_ids,
+                                      valid.sum(axis=1),
+                                      CHUNK_INSTRUCTIONS)
+            else:
+                engine.end_step("chunk", lanes, CHUNK_INSTRUCTIONS)
 
             # Vectorized per-lane binary search in the longer list.
             s_lo = long_lo[warp_of[lanes]].copy()
@@ -150,7 +175,7 @@ def warp_intersect_kernel(engine: SimtEngine,
                     break
                 act = np.flatnonzero(active)
                 mid = (s_lo[act] + s_hi[act]) // 2
-                vals = engine.read(adj, mid, lanes[act]).astype(np.int64)
+                vals = read(adj, mid, lanes[act]).astype(np.int64)
                 probes += len(act)
                 below = vals < targets[act]
                 s_lo[act] = np.where(below, mid + 1, s_lo[act])
@@ -161,7 +186,7 @@ def warp_intersect_kernel(engine: SimtEngine,
             found = np.zeros(len(lanes), bool)
             if in_range.any():
                 probe_idx = s_lo[in_range]
-                vals = engine.read(adj, probe_idx, lanes[in_range])
+                vals = read(adj, probe_idx, lanes[in_range])
                 found[in_range] = vals.astype(np.int64) == targets[in_range]
                 probes += int(in_range.sum())
                 engine.end_step("search", lanes[in_range],

@@ -52,6 +52,43 @@ class CacheStats:
         self.misses += other.misses
 
 
+def _unique_pairs(set_idx: np.ndarray, lines: np.ndarray):
+    """Deduplicate (set, line) pairs exactly.
+
+    Returns ``(n_uniq, first_pos, inverse)`` matching what
+    ``np.unique(key, return_index=True, return_inverse=True)`` would give
+    for an exact, order-preserving packing of the pair: ``first_pos``
+    holds the earliest request index of each distinct pair, ``inverse``
+    maps every request to its pair's rank in (set, line) order.
+
+    Fast path: pack as ``set_idx * span + line`` when the product
+    provably fits in an int64 (true for any real device address space).
+    Otherwise fall back to a stable lexsort on the raw pair — identical
+    ordering and representatives, no aliasing for any input.
+    """
+    lo = int(lines.min())
+    span = int(lines.max()) + 1
+    if lo >= 0 and span < (1 << 62) // max(int(set_idx.max()) + 1, 1):
+        key = set_idx * span + lines
+        uniq, first_pos, inverse = np.unique(key, return_index=True,
+                                             return_inverse=True)
+        return len(uniq), first_pos, inverse
+    order = np.lexsort((lines, set_idx))
+    s_sorted = set_idx[order]
+    l_sorted = lines[order]
+    new_group = np.empty(len(order), dtype=bool)
+    new_group[0] = True
+    new_group[1:] = ((s_sorted[1:] != s_sorted[:-1]) |
+                     (l_sorted[1:] != l_sorted[:-1]))
+    group_id = np.cumsum(new_group) - 1
+    inverse = np.empty(len(order), dtype=np.int64)
+    inverse[order] = group_id
+    # lexsort is stable, so the first element of each group is the
+    # earliest original occurrence — same representative np.unique picks.
+    first_pos = order[new_group]
+    return int(group_id[-1]) + 1, first_pos, inverse
+
+
 class CacheArray:
     """``num_instances`` independent set-associative LRU caches.
 
@@ -83,11 +120,41 @@ class CacheArray:
         self.sets = sets
         total_sets = num_instances * sets
         # tags[s, w] = line id resident in way w of (flattened) set s.
-        self._tags = np.full((total_sets, ways), -1, dtype=np.int64)
+        # Stored narrow (int32) until a line id above 2^31-1 shows up —
+        # real devices top out around 2^27 lines, so in practice the
+        # probes' dominant (U, ways) tag gather moves half the bytes;
+        # :meth:`_widen` upgrades to int64 on demand (synthetic
+        # addresses in adversarial tests) and every insertion site
+        # checks its batch maximum first, so no value is ever truncated.
+        self._tags = np.full((total_sets, ways), -1, dtype=np.int32)
         # stamp[s, w] = last-touch timestamp (monotone counter) for LRU.
         self._stamp = np.zeros((total_sets, ways), dtype=np.int64)
         self._clock = 1
+        # NumPy's stable sort is radix only for <= 16-bit integers (it
+        # falls back to timsort above that, ~10x slower on random keys);
+        # every real device geometry fits, so the fast probe narrows its
+        # grouping keys when it can.
+        self._narrow_sets = total_sets <= np.iinfo(np.uint16).max
+        # Lazily grown ``arange(n) * ways`` base for flat (row, way)
+        # indexing in the fast probe (saves an alloc + multiply per call).
+        self._rowbase = np.arange(64, dtype=np.int64) * ways
         self.stats = CacheStats()
+
+    def _flat_base(self, n: int) -> np.ndarray:
+        if len(self._rowbase) < n:
+            size = max(n, 2 * len(self._rowbase))
+            self._rowbase = np.arange(size, dtype=np.int64) * self.ways
+        return self._rowbase[:n]
+
+    _INT32_MAX = int(np.iinfo(np.int32).max)
+
+    def _widen(self) -> None:
+        """Switch tag storage to int64 (a line id exceeded int32)."""
+        self._tags = self._tags.astype(np.int64)
+
+    def _ensure_tag_range(self, max_line: int) -> None:
+        if self._tags.dtype == np.int32 and max_line > self._INT32_MAX:
+            self._widen()
 
     # ------------------------------------------------------------------ #
 
@@ -110,12 +177,17 @@ class CacheArray:
             return np.zeros(0, dtype=bool)
 
         lines = byte_addrs.astype(np.int64) // self.line_bytes
+        self._ensure_tag_range(int(lines.max()))
         set_idx = (lines % self.sets) + instance_ids.astype(np.int64) * self.sets
 
-        # Collapse duplicates (MSHR merge): probe each (set, line) once.
-        key = set_idx * (1 << 40) + (lines % (1 << 40))
-        uniq_key, first_pos, inverse = np.unique(key, return_index=True,
-                                                 return_inverse=True)
+        # Collapse duplicates (MSHR merge): probe each (set, line) *pair*
+        # once.  The set index alone does not identify a line, so the
+        # pair is packed exactly — ``set_idx * span + line`` with
+        # ``span > max line`` — which keeps unique keys ordered by
+        # (set, line).  Line ids outside the validated packing bound
+        # (possible only with pathological synthetic addresses) take a
+        # stable lexsort path with identical semantics.
+        n_uniq, first_pos, inverse = _unique_pairs(set_idx, lines)
         u_set = set_idx[first_pos]
         u_line = lines[first_pos]
 
@@ -124,7 +196,7 @@ class CacheArray:
         hit = match.any(axis=1)
 
         now = self._clock
-        self._clock += len(uniq_key) + 1
+        self._clock += n_uniq + 1
 
         if hit.any():
             hit_sets = u_set[hit]
@@ -161,13 +233,183 @@ class CacheArray:
 
         # Per-request result: duplicates of a probed line count as hits.
         result = hit[inverse]
-        dup = np.ones(len(key), dtype=bool)
+        dup = np.ones(len(set_idx), dtype=bool)
         dup[first_pos] = False
         result = result | dup
 
         self.stats.hits += int(result.sum())
         self.stats.misses += int((~result).sum())
         return result
+
+    def probe_unique(self, u_set: np.ndarray, u_line: np.ndarray,
+                     extra_hits: int = 0) -> np.ndarray:
+        """Probe/update for a batch already deduplicated to distinct
+        (set, line) pairs; returns the per-pair hit mask.
+
+        The compacted engine's fast re-implementation of the state
+        machine inside :meth:`access` — deliberately a *separate* code
+        path so the lockstep oracle keeps exercising the reference
+        implementation; ``tests/test_cache.py`` and the engine
+        equivalence suite pin the two to identical state evolution.
+
+        Semantics are those of :meth:`access` after its dedupe step, and
+        are *order-independent* as long as, within each set, distinct
+        lines appear in ascending order (both the sorted packed-key
+        order :meth:`access` uses and a plain sort by line satisfy
+        this) — victim choice and stamps depend only on that within-set
+        order.  Two wins over the reference:
+
+        * the hit way falls out of one ``argmax`` + flat gather instead
+          of a mask reduction plus a re-gathered ``argmax``;
+        * the LRU ordering of the miss path is computed once per
+          *affected set* — bounded by cache geometry, a few hundred —
+          instead of once per missing request, which turns the batch
+          miss storm's big ``(misses, ways)`` stable argsort into a
+          small ``(sets, ways)`` one;
+        * the set-grouping sort runs on ``uint16`` keys (NumPy's stable
+          sort is a radix sort only at <= 16 bits), and the 2-D
+          gather/scatter pairs go through flattened indices.
+
+        ``extra_hits`` is the number of duplicate requests that were
+        collapsed away (MSHR merges); they count as hits in the stats,
+        exactly as :meth:`access` counts them.
+        """
+        n_uniq = len(u_set)
+        if n_uniq == 1:
+            # Scalar path: a one-pair probe (ubiquitous in skewed tails)
+            # runs on Python lists of ``ways`` elements — identical
+            # semantics, a fraction of the vector-dispatch cost.
+            s = int(u_set[0])
+            line = int(u_line[0])
+            self._ensure_tag_range(line)
+            now = self._clock
+            self._clock += 2
+            row = self._tags[s].tolist()
+            try:
+                w = row.index(line)
+            except ValueError:
+                stamps = self._stamp[s].tolist()
+                w = stamps.index(min(stamps))     # first LRU way = argmin
+                self._tags[s, w] = line
+                self._stamp[s, w] = now + 1
+                self.stats.hits += extra_hits
+                self.stats.misses += 1
+                return np.zeros(1, dtype=bool)
+            self._stamp[s, w] = now
+            self.stats.hits += 1 + extra_hits
+            return np.ones(1, dtype=bool)
+        if n_uniq <= 6:
+            # Small-batch path: same phase structure as the vector code
+            # below (all hits resolved against the pre-probe state, then
+            # misses filled in stable set order), but on Python scalars —
+            # a handful of list ops beats ~25 vector dispatches.
+            self._ensure_tag_range(int(u_line.max()))
+            now = self._clock
+            self._clock += n_uniq + 1
+            sets = u_set.tolist()
+            lines = u_line.tolist()
+            hits = []
+            for s, ln in zip(sets, lines):
+                row = self._tags[s].tolist()
+                try:
+                    w = row.index(ln)
+                except ValueError:
+                    hits.append(False)
+                    continue
+                hits.append(True)
+                self._stamp[s, w] = now
+            n_hit = 0
+            if True in hits:
+                n_hit = hits.count(True)
+            if n_hit < n_uniq:
+                miss = [(s, ln) for s, h, ln in zip(sets, hits, lines)
+                        if not h]
+                miss.sort(key=lambda p: p[0])     # stable, like the vector
+                ways = self.ways
+                i, k = 0, len(miss)
+                while i < k:
+                    s = miss[i][0]
+                    j = i + 1
+                    while j < k and miss[j][0] == s:
+                        j += 1
+                    stamps = self._stamp[s].tolist()
+                    lru = sorted(range(ways), key=stamps.__getitem__)
+                    for r in range(j - i):
+                        w = lru[r % ways]
+                        self._tags[s, w] = miss[i + r][1]
+                        self._stamp[s, w] = now + 1 + r
+                    i = j
+            self.stats.hits += n_hit + extra_hits
+            self.stats.misses += n_uniq - n_hit
+            return np.array(hits, dtype=bool)
+        self._ensure_tag_range(int(u_line.max()))
+        gathered = self._tags[u_set]                       # (U, ways)
+        if gathered.dtype == np.int32 and u_line.dtype != np.int32:
+            match = gathered == u_line.astype(np.int32)[:, None]
+        else:
+            match = gathered == u_line[:, None]
+        way = match.argmax(axis=1)                # first matching way (or 0)
+        hit = match.reshape(-1)[self._flat_base(n_uniq) + way]
+        n_hit = int(np.count_nonzero(hit))
+
+        now = self._clock
+        self._clock += n_uniq + 1
+
+        if n_hit:
+            self._stamp[u_set[hit], way[hit]] = now
+
+        if n_hit < n_uniq:
+            if n_hit:
+                miss = ~hit
+                miss_sets = u_set[miss]
+                miss_lines = u_line[miss]
+            else:
+                miss_sets = u_set
+                miss_lines = u_line
+            # Group same-set misses: within one batch each gets its own
+            # victim way, chosen in LRU order.
+            if self._narrow_sets:
+                order = np.argsort(miss_sets.astype(np.uint16),
+                                   kind="stable")
+            else:
+                order = np.argsort(miss_sets, kind="stable")
+            ms = miss_sets[order]
+            ml = miss_lines[order]
+            k = len(ms)
+            group_start = np.empty(k, dtype=bool)
+            group_start[0] = True
+            np.not_equal(ms[1:], ms[:-1], out=group_start[1:])
+            n_groups = int(np.count_nonzero(group_start))
+            if n_groups == k:
+                # Every miss in its own set (the common case outside a
+                # thrash storm): every rank is 0, victim = plain LRU way.
+                victim_way = np.argmin(self._stamp[ms], axis=1)
+                flat = ms * self.ways + victim_way
+                self._tags.reshape(-1)[flat] = ml
+                self._stamp.reshape(-1)[flat] = now + 1
+            else:
+                starts = np.flatnonzero(group_start)
+                gid = np.cumsum(group_start)
+                gid -= 1
+                # rank of each miss within its set group (0, 1, 2, ...)
+                rank = np.arange(k)
+                rank -= starts[gid]
+                # LRU order per *affected set* (hits above already
+                # stamped ``now``, so they rank most-recent, exactly as
+                # in the reference).
+                lru = np.argsort(self._stamp[ms[starts]], axis=1,
+                                 kind="stable")           # (G, ways)
+                wrapped = (rank & (self.ways - 1) if not (self.ways &
+                           (self.ways - 1)) else rank % self.ways)
+                victim_way = lru.reshape(-1)[gid * self.ways + wrapped]
+                flat = ms * self.ways + victim_way
+                self._tags.reshape(-1)[flat] = ml
+                rank += now + 1
+                self._stamp.reshape(-1)[flat] = rank
+
+        self.stats.hits += n_hit + extra_hits
+        self.stats.misses += n_uniq - n_hit
+        return hit
 
     # ------------------------------------------------------------------ #
 

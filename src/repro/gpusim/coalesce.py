@@ -60,9 +60,24 @@ def coalesce(warp_ids: np.ndarray, byte_addrs: np.ndarray,
     if len(warp_ids) == 0:
         return CoalescedBatch(np.zeros(0, np.int64), np.zeros(0, np.int64), 0)
     granules = byte_addrs.astype(np.int64) // granule_bytes
-    # One transaction per distinct (warp, granule).
-    key = warp_ids.astype(np.int64) * (1 << 44) + granules
-    uniq = np.unique(key)
-    out_warps = uniq >> 44
-    out_lines = (uniq & ((1 << 44) - 1)) * granule_bytes
+    # One transaction per distinct (warp, granule) pair.  Packed exactly
+    # — ``warp * span + granule`` with ``span > max granule`` — so no
+    # two pairs can alias (a fixed-width ``<< 44`` pack would merge
+    # pathological synthetic addresses 2^44 granules apart, the same
+    # latent bug CacheArray.access had).  Inputs outside the provable
+    # int64 packing bound take a stable lexsort with identical output.
+    w = warp_ids.astype(np.int64)
+    span = int(granules.max()) + 1
+    if span > 0 and span < (1 << 62) // max(int(w.max()) + 1, 1):
+        uniq = np.unique(w * span + granules)
+        out_warps = uniq // span
+        out_lines = (uniq % span) * granule_bytes
+    else:
+        order = np.lexsort((granules, w))
+        ws, gs = w[order], granules[order]
+        first = np.empty(len(order), dtype=bool)
+        first[0] = True
+        first[1:] = (ws[1:] != ws[:-1]) | (gs[1:] != gs[:-1])
+        out_warps = ws[first]
+        out_lines = gs[first] * granule_bytes
     return CoalescedBatch(out_warps, out_lines, lane_requests=len(warp_ids))

@@ -24,6 +24,7 @@ data while it counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -31,7 +32,20 @@ from repro.errors import InvalidLaunchError, KernelFault
 from repro.gpusim.cache import CacheArray
 from repro.gpusim.coalesce import coalesce
 from repro.gpusim.device import DeviceSpec
+from repro.gpusim.hostprof import current_host_profiler
 from repro.gpusim.memory import DeviceBuffer
+
+
+_INT32_MAX = int(np.iinfo(np.int32).max)
+
+
+def _boundary_mask(sorted_arr: np.ndarray) -> np.ndarray:
+    """Mask selecting the first element of each run in a sorted array
+    (``np.unique`` of a sorted input, without the sort or the copy)."""
+    mask = np.empty(len(sorted_arr), dtype=bool)
+    mask[0] = True
+    np.not_equal(sorted_arr[1:], sorted_arr[:-1], out=mask[1:])
+    return mask
 
 
 @dataclass(frozen=True)
@@ -91,8 +105,8 @@ class KernelReport:
     simulated time using the device constants.
     """
 
-    device: DeviceSpec = None
-    launch: LaunchConfig = None
+    device: DeviceSpec | None = None
+    launch: LaunchConfig | None = None
     #: warp-steps executed, per instruction-block kind (e.g. "merge", "setup").
     warp_steps: dict = field(default_factory=dict)
     #: warp-instruction slots issued (warp-steps × instructions of the block).
@@ -133,9 +147,34 @@ class KernelReport:
 
     @property
     def launch_warp_size(self) -> int:
-        if self.launch and self.launch.simulated_warp_size:
+        if self.launch is not None and self.launch.simulated_warp_size:
             return self.launch.simulated_warp_size
-        return self.device.warp_size if self.device else 32
+        return self.device.warp_size if self.device is not None else 32
+
+    def counters(self) -> dict:
+        """Every modeled counter as plain comparable values.
+
+        This is the byte-identity surface the compacted engine is held
+        to: two executions are equivalent iff their ``counters()`` dicts
+        are equal (see ``tests/test_engine_equivalence.py``).
+        """
+        sm_slots = (tuple(int(s) for s in self.sm_instruction_slots)
+                    if self.sm_instruction_slots is not None else None)
+        return {
+            "warp_steps": dict(sorted(self.warp_steps.items())),
+            "instruction_slots": int(self.instruction_slots),
+            "sm_instruction_slots": sm_slots,
+            "lane_reads": int(self.lane_reads),
+            "transactions": int(self.transactions),
+            "l1_hits": int(self.l1_hits),
+            "l1_misses": int(self.l1_misses),
+            "l2_hits": int(self.l2_hits),
+            "l2_misses": int(self.l2_misses),
+            "l2_bytes": int(self.l2_bytes),
+            "dram_bytes": int(self.dram_bytes),
+            "active_lane_sum": int(self.active_lane_sum),
+            "total_warp_steps": int(self.total_warp_steps),
+        }
 
 
 class SimtEngine:
@@ -178,6 +217,34 @@ class SimtEngine:
                              device.l2_ways)
         self.report = KernelReport(device=device, launch=launch)
         self.report.sm_instruction_slots = np.zeros(device.num_sms, dtype=np.int64)
+        # Packed-key geometry for the compacted fast path: one sorted
+        # int64 key (line, sm, warp) yields coalescing, L1 dedupe and
+        # L2 dedupe in a single pass.  ``_smw[w]`` packs a warp's
+        # (sm, warp) low bits so key construction is one gather + add.
+        self._warp_bits = max(1, (self.num_warps - 1).bit_length())
+        self._sm_bits = max(1, (device.num_sms - 1).bit_length())
+        self._sm_mask = (1 << self._sm_bits) - 1
+        self._key_shift = self._warp_bits + self._sm_bits
+        self._smw = ((self.warp_sm << self._warp_bits)
+                     | np.arange(self.num_warps, dtype=np.int64))
+        # Power-of-two strides become shifts in the fast path (NumPy's
+        # floor_divide is several times slower per element); ``None``
+        # marks a non-power-of-two geometry that keeps the division.
+        def _shift_of(x: int) -> int | None:
+            return x.bit_length() - 1 if x and not (x & (x - 1)) else None
+        self._ws_shift = _shift_of(warp)
+        self._line_shift = _shift_of(device.line_bytes)
+        self._sector_shift = _shift_of(device.sector_bytes)
+        self._l1_set_shift = (_shift_of(self.l1.sets)
+                              if self.l1 is not None else None)
+        self._l2_set_shift = _shift_of(self.l2.sets)
+        # Largest possible packed key per buffer end address decides
+        # whether the coalescing sort may run on int32 (half the
+        # bandwidth of the int64 build; NumPy sorts scale with width).
+        self._smw_max = int(self._smw.max()) if self.num_warps else 0
+        #: ambient host profiler (see :mod:`repro.gpusim.hostprof`);
+        #: ``None`` keeps the hot paths hook-free.
+        self.host_profiler = current_host_profiler()
 
     # ------------------------------------------------------------------ #
     # memory
@@ -193,6 +260,8 @@ class SimtEngine:
         indices = np.asarray(indices)
         if len(indices) == 0:
             return buf.data[indices]
+        prof = self.host_profiler
+        t0 = perf_counter() if prof is not None else 0.0
         lo = int(indices.min())
         hi = int(indices.max())
         if lo < 0 or hi >= len(buf.data):
@@ -221,7 +290,189 @@ class SimtEngine:
             batch = coalesce(warp_ids, addrs, self.device.sector_bytes)
             self.report.transactions += batch.transactions
             self._probe_l2(batch.line_addrs, self.device.sector_bytes)
+        if prof is not None:
+            prof.add("cache-model", perf_counter() - t0)
         return values
+
+    def read_compacted(self, buf: DeviceBuffer, indices: np.ndarray,
+                       thread_ids: np.ndarray) -> np.ndarray:
+        """:meth:`read` with the whole memory-model chain fused.
+
+        Byte-identical counters and cache-state evolution, a fraction of
+        the host cost: coalescing, L1 set mapping and L2 probing collapse
+        into packed-key ``np.unique`` calls (no per-request index/inverse
+        reconstruction — the engine only needs hit *counts* and the
+        missing lines), with no intermediate batch objects.  Because
+        every stage is order-independent over the request multiset, the
+        caller may present lanes in any order — which is what lets the
+        compacted kernels keep their registers in worklist order.
+        """
+        indices = np.asarray(indices)
+        n = len(indices)
+        if n == 0:
+            return buf.data[indices]
+        prof = self.host_profiler
+        t0 = perf_counter() if prof is not None else 0.0
+        if indices.dtype != np.int64:
+            indices = indices.astype(np.int64)
+        lo = int(indices.min())
+        hi = int(indices.max())
+        if lo < 0 or hi >= len(buf.data):
+            raise KernelFault(
+                f"out-of-bounds read from {buf.name!r}: index range "
+                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        values = buf.data[indices]
+        rep = self.report
+        rep.lane_reads += n
+
+        if n == 1:
+            # Scalar fast path — skewed tails issue thousands of 1-lane
+            # reads where the vector machinery is pure dispatch overhead.
+            self._read_one(buf, int(indices[0]), int(thread_ids[0]))
+            if prof is not None:
+                prof.add("cache-model", perf_counter() - t0)
+            return values
+
+        warp_ids = np.asarray(thread_ids)
+        if self._ws_shift is not None:
+            warp_ids = warp_ids >> self._ws_shift
+        else:
+            warp_ids = warp_ids // self.warp_size
+        if self.l1 is not None:
+            lb = self.device.line_bytes
+            # One in-place sort of (line, sm, warp) gives every dedupe
+            # level as a boundary pass: unique keys = transactions,
+            # unique (line, sm) prefixes = L1 probes, and the L1 miss
+            # lines come out line-sorted so the L2 dedupe is sortless.
+            # Built in place with shifts where strides allow.
+            key = indices * buf.itemsize
+            key += buf.device_addr
+            if self._line_shift is not None:
+                key >>= self._line_shift
+            else:
+                key //= lb
+            key <<= self._key_shift
+            key += self._smw[warp_ids]
+            if n >= 1024 and ((((buf.device_addr + buf.nbytes) // lb)
+                               << self._key_shift) + self._smw_max
+                              < _INT32_MAX):
+                # Bulk reads: the sort dominates, and it scales with key
+                # width — one downcast pass buys int32 sorting.
+                key = key.astype(np.int32)
+            key.sort()
+            pu = key[_boundary_mask(key)] >> self._warp_bits
+            n_trans = len(pu)
+            rep.transactions += n_trans
+            upair = pu[_boundary_mask(pu)]
+            u_line = upair >> self._sm_bits
+            n_uniq = len(u_line)
+            l1 = self.l1
+            if self._l1_set_shift is not None:
+                l1_set = ((u_line & (l1.sets - 1))
+                          + ((upair & self._sm_mask) << self._l1_set_shift))
+            else:
+                l1_set = u_line % l1.sets + (upair & self._sm_mask) * l1.sets
+            hit = l1.probe_unique(l1_set, u_line,
+                                  extra_hits=n_trans - n_uniq)
+            n_hit = (n_trans - n_uniq) + int(np.count_nonzero(hit))
+            rep.l1_hits += n_hit
+            n_miss = n_trans - n_hit
+            rep.l1_misses += n_miss
+            if n_miss:
+                # L2 on the missing lines; distinct SMs missing one
+                # line fill it once (the extras count as hits).
+                ml = u_line[~hit]
+                uml = ml[_boundary_mask(ml)]
+                n_uniq2 = len(uml)
+                l2 = self.l2
+                l2_set = (uml & (l2.sets - 1)
+                          if self._l2_set_shift is not None
+                          else uml % l2.sets)
+                hit2 = l2.probe_unique(l2_set, uml,
+                                       extra_hits=n_miss - n_uniq2)
+                n_hit2 = (n_miss - n_uniq2) + int(np.count_nonzero(hit2))
+                rep.l2_hits += n_hit2
+                rep.l2_misses += n_miss - n_hit2
+                rep.l2_bytes += n_miss * lb
+                rep.dram_bytes += (n_miss - n_hit2) * lb
+        else:
+            # Uncached global loads: sector-granular, straight to L2.
+            sb = self.device.sector_bytes
+            key = indices * buf.itemsize
+            key += buf.device_addr
+            if self._sector_shift is not None:
+                key >>= self._sector_shift
+            else:
+                key //= sb
+            key <<= self._warp_bits
+            key += warp_ids
+            if n >= 1024 and ((((buf.device_addr + buf.nbytes) // sb)
+                               << self._warp_bits) + self.num_warps
+                              < _INT32_MAX):
+                key = key.astype(np.int32)
+            key.sort()
+            su = key[_boundary_mask(key)] >> self._warp_bits
+            n_trans = len(su)
+            rep.transactions += n_trans
+            # Sector → L2 line (sorted stays sorted); distinct sectors
+            # of one line collapse to one probe, extras count as hits.
+            if (self._sector_shift is not None
+                    and self._line_shift is not None):
+                l2_line = su >> (self._line_shift - self._sector_shift)
+            else:
+                l2_line = su * sb // self.device.line_bytes
+            ul = l2_line[_boundary_mask(l2_line)]
+            n_uniq2 = len(ul)
+            l2 = self.l2
+            l2_set = (ul & (l2.sets - 1)
+                      if self._l2_set_shift is not None
+                      else ul % l2.sets)
+            hit2 = l2.probe_unique(l2_set, ul,
+                                   extra_hits=n_trans - n_uniq2)
+            n_hit2 = (n_trans - n_uniq2) + int(np.count_nonzero(hit2))
+            rep.l2_hits += n_hit2
+            rep.l2_misses += n_trans - n_hit2
+            rep.l2_bytes += n_trans * sb
+            rep.dram_bytes += (n_trans - n_hit2) * sb
+        if prof is not None:
+            prof.add("cache-model", perf_counter() - t0)
+        return values
+
+    def _read_one(self, buf: DeviceBuffer, index: int, thread_id: int) -> None:
+        """Memory-model bookkeeping of a single-lane read (scalar path of
+        :meth:`read_compacted` — same counters, same cache evolution)."""
+        rep = self.report
+        rep.transactions += 1
+        addr = buf.device_addr + index * buf.itemsize
+        l2 = self.l2
+        if self.l1 is not None:
+            lb = self.device.line_bytes
+            line = addr // lb
+            sm = int(self.warp_sm[thread_id // self.warp_size])
+            l1 = self.l1
+            arr = np.array([line], dtype=np.int64)
+            if l1.probe_unique(np.array([line % l1.sets + sm * l1.sets]),
+                               arr)[0]:
+                rep.l1_hits += 1
+                return
+            rep.l1_misses += 1
+            if l2.probe_unique(np.array([line % l2.sets]), arr)[0]:
+                rep.l2_hits += 1
+            else:
+                rep.l2_misses += 1
+                rep.dram_bytes += lb
+            rep.l2_bytes += lb
+        else:
+            sb = self.device.sector_bytes
+            sector = addr // sb
+            line = sector * sb // self.device.line_bytes
+            if l2.probe_unique(np.array([line % l2.sets]),
+                               np.array([line], dtype=np.int64))[0]:
+                rep.l2_hits += 1
+            else:
+                rep.l2_misses += 1
+                rep.dram_bytes += sb
+            rep.l2_bytes += sb
 
     def _probe_l2(self, line_addrs: np.ndarray, fill_bytes: int) -> None:
         zeros = np.zeros(len(line_addrs), dtype=np.int64)
@@ -241,6 +492,8 @@ class SimtEngine:
         indices = np.asarray(indices)
         if len(indices) == 0:
             return
+        prof = self.host_profiler
+        t0 = perf_counter() if prof is not None else 0.0
         lo = int(indices.min())
         hi = int(indices.max())
         if lo < 0 or hi >= len(buf.data):
@@ -253,6 +506,8 @@ class SimtEngine:
         batch = coalesce(warp_ids, addrs, self.device.sector_bytes)
         self.report.transactions += batch.transactions
         self.report.dram_bytes += batch.transactions * self.device.sector_bytes
+        if prof is not None:
+            prof.add("cache-model", perf_counter() - t0)
 
     def atomic_add(self, buf: DeviceBuffer, indices: np.ndarray,
                    values: np.ndarray, thread_ids: np.ndarray) -> None:
@@ -273,6 +528,8 @@ class SimtEngine:
             raise KernelFault(
                 f"out-of-bounds atomic on {buf.name!r}: index range "
                 f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        prof = self.host_profiler
+        t0 = perf_counter() if prof is not None else 0.0
         np.add.at(buf.data, indices, values)
         addrs = buf.addresses(indices)
         warp_ids = np.asarray(thread_ids) // self.warp_size
@@ -283,6 +540,8 @@ class SimtEngine:
         self.report.transactions += batch.transactions
         self.report.l2_bytes += 2 * sectors.transactions * self.device.sector_bytes
         self.report.dram_bytes += sectors.transactions * self.device.sector_bytes
+        if prof is not None:
+            prof.add("cache-model", perf_counter() - t0)
 
     # ------------------------------------------------------------------ #
     # execution accounting
@@ -299,6 +558,8 @@ class SimtEngine:
         """
         if len(active_thread_ids) == 0:
             return
+        prof = self.host_profiler
+        t0 = perf_counter() if prof is not None else 0.0
         w = np.asarray(active_thread_ids) // self.warp_size
         if len(w) > 1 and np.any(w[1:] < w[:-1]):
             w = np.sort(w)
@@ -313,3 +574,28 @@ class SimtEngine:
         rep.total_warp_steps += n_warps
         rep.active_lane_sum += int(lane_counts.sum())
         np.add.at(rep.sm_instruction_slots, self.warp_sm[warp_ids], instructions)
+        if prof is not None:
+            prof.add("accounting", perf_counter() - t0)
+
+    def end_step_warps(self, kind: str, warp_ids: np.ndarray,
+                       lane_counts: np.ndarray, instructions: int) -> None:
+        """:meth:`end_step` for callers that already know the warps.
+
+        ``warp_ids`` must be *distinct* warps; ``lane_counts`` their
+        active-lane counts.  The compacted engine tracks both directly
+        in its worklist, so the per-call lane → warp derivation (sort +
+        run-length pass) is skipped.  Accounting is identical.
+        """
+        n_warps = len(warp_ids)
+        if n_warps == 0:
+            return
+        prof = self.host_profiler
+        t0 = perf_counter() if prof is not None else 0.0
+        rep = self.report
+        rep.warp_steps[kind] = rep.warp_steps.get(kind, 0) + n_warps
+        rep.instruction_slots += n_warps * instructions
+        rep.total_warp_steps += n_warps
+        rep.active_lane_sum += int(lane_counts.sum())
+        np.add.at(rep.sm_instruction_slots, self.warp_sm[warp_ids], instructions)
+        if prof is not None:
+            prof.add("accounting", perf_counter() - t0)

@@ -38,6 +38,9 @@ class ServeReport:
     faults: int = 0
     #: jobs that ran the partitioned/distributed path.
     fallbacks: int = 0
+    #: host-side wall-clock attribution of the replay's simulator work
+    #: (see :mod:`repro.gpusim.hostprof`); ``None`` when not collected.
+    host_profiler: object | None = None
 
     # ------------------------------------------------------------------ #
     # job populations
@@ -190,4 +193,9 @@ class ServeReport:
                    f"{dev.jobs_completed} jobs, cache "
                    f"{human_bytes(dev.cache.bytes_used)} in "
                    f"{len(dev.cache)} entries")
+        if self.host_profiler is not None and self.host_profiler.phases:
+            from repro.gpusim.hostprof import format_host_profile
+            out.write(format_host_profile(
+                self.host_profiler,
+                header="  host simulator wall-clock (this replay):"))
         return out.getvalue()

@@ -130,3 +130,48 @@ class TestStats:
         a = CacheStats(1, 2)
         a.merge(CacheStats(3, 4))
         assert a.hits == 4 and a.misses == 6
+
+
+class TestPairKeyExactness:
+    """Regression: dedupe must key on the exact (set, line) pair.
+
+    The old packing ``set_idx * 2**40 + line % 2**40`` aliased distinct
+    lines differing by a multiple of 2^40, silently turning the second
+    access of a batch into an MSHR "hit"."""
+
+    def test_lines_apart_by_2_40_are_distinct(self):
+        c = CacheArray(1, 4096, 128, 4)  # 8 sets
+        # Same set (lines differ by a multiple of sets=8), line ids
+        # differing by exactly 2^40: the aliasing case.
+        l1 = 3
+        l2 = 3 + (1 << 40)
+        addrs = np.array([l1 * 128, l2 * 128], dtype=np.int64)
+        hits = c.access(_zeros(2), addrs)
+        assert not hits.any()
+        assert c.stats.misses == 2 and c.stats.hits == 0
+        # Both lines must actually be resident now.
+        again = c.access(_zeros(2), addrs)
+        assert again.all()
+
+    def test_huge_line_ids_fall_back_to_exact_path(self):
+        # Force the lexsort fallback: line ids near 2^57 overflow the
+        # packed key for any set count, and must still dedupe exactly.
+        c = CacheArray(4, 4096, 128, 4)
+        base = (1 << 57) + 11
+        lines = np.array([base, base + (1 << 40), base, base + 8],
+                         dtype=np.int64)
+        addrs = lines * 128
+        inst = np.array([2, 2, 2, 2], dtype=np.int64)
+        hits = c.access(inst, addrs)
+        # requests 0/1/3 are distinct lines (misses); request 2 repeats
+        # request 0 within the batch (MSHR merge -> hit).
+        assert list(hits) == [False, False, True, False]
+        assert c.stats.misses == 3 and c.stats.hits == 1
+
+    def test_mixed_instances_same_line(self):
+        # The same line on two instances is two distinct pairs.
+        c = CacheArray(2, 4096, 128, 4)
+        addrs = _addrs(5, 5)
+        hits = c.access(np.array([0, 1], dtype=np.int64), addrs)
+        assert not hits.any()
+        assert c.resident_lines() == 2

@@ -48,3 +48,32 @@ class TestCoalesce:
         batch = coalesce(_w(3, 3, 7), np.array([0, 4, 0], np.int64), 128)
         assert sorted(batch.warp_ids.tolist()) == [3, 7]
         assert batch.lane_requests == 3
+
+    def test_no_aliasing_at_huge_addresses(self):
+        # With the old fixed ``warp << 44`` packing, (warp=1, granule=0)
+        # and (warp=0, granule=2^44) collapsed into one key and one of
+        # the two transactions silently vanished.
+        addrs = np.array([0, (1 << 44) * 128], np.int64)
+        batch = coalesce(_w(1, 0), addrs, 128)
+        assert batch.transactions == 2
+        pairs = sorted(zip(batch.warp_ids.tolist(),
+                           batch.line_addrs.tolist()))
+        assert pairs == [(0, (1 << 44) * 128), (1, 0)]
+
+    def test_lexsort_fallback_matches_packed(self):
+        # Addresses near the int64 packing bound must take the lexsort
+        # path and produce the same multiset a safe packing would.
+        rng = np.random.default_rng(7)
+        warps = rng.integers(0, 101, size=200).astype(np.int64)
+        granules = rng.integers(0, 10, size=200).astype(np.int64)
+        # span ~= 2^56, so span * (max warp + 1) overflows the 2^62
+        # packing bound while the byte addresses still fit in int64.
+        base = (1 << 56) - 16
+        big = coalesce(warps, (base + granules) * 128, 128)
+        small = coalesce(warps, granules * 128, 128)
+        assert big.transactions == small.transactions
+        big_pairs = sorted(zip(big.warp_ids.tolist(),
+                               (big.line_addrs - base * 128).tolist()))
+        small_pairs = sorted(zip(small.warp_ids.tolist(),
+                                 small.line_addrs.tolist()))
+        assert big_pairs == small_pairs

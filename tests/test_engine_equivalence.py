@@ -1,0 +1,156 @@
+"""Bit-identity of the compacted engine against the lockstep oracle.
+
+The compacted execution path (``GpuOptions(engine="compacted")``) is a
+pure host-side optimization: its contract is that *every* observable of
+a kernel launch — triangle counts, per-thread counts, tick count,
+cache-state evolution, and the full :meth:`KernelReport.counters` dict —
+is equal to the lockstep reference's, bit for bit.  This suite pins that
+contract across the option matrix (merge variants, AoS/SoA, read-only
+cache on/off, simulated warp sizes, devices, per-vertex accumulation,
+arc ranges) and with hypothesis-generated graphs and launches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.count_kernel import count_triangles_kernel
+from repro.core.options import GpuOptions
+from repro.core.preprocess import preprocess
+from repro.core.warp_intersect_kernel import warp_intersect_kernel
+from repro.graphs.edgearray import EdgeArray
+from repro.graphs.generators import barabasi_albert, rmat
+from repro.gpusim.device import GTX_980, NVS_5200M
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.simt import LaunchConfig, SimtEngine
+from repro.gpusim.timing import Timeline
+
+
+def _run_both(graph, options_of, device=GTX_980, per_vertex=False,
+              lo=0, hi=None, kernel="count"):
+    """Run lockstep and compacted; return their observable tuples."""
+    out = {}
+    for engine_name in ("lockstep", "compacted"):
+        options = options_of(engine_name)
+        memory = DeviceMemory(device)
+        pre = preprocess(graph, device, memory, Timeline(), options)
+        engine = SimtEngine(device, options.launch,
+                            use_ro_cache=options.use_readonly_cache)
+        pv = None
+        if per_vertex:
+            pv = memory.alloc_empty("pv", graph.num_nodes, np.int64)
+            pv.data[:] = 0
+        if kernel == "count":
+            res = count_triangles_kernel(engine, pre, options,
+                                         lo=lo, hi=hi, per_vertex_buf=pv)
+            observed = (res.triangles, res.ticks,
+                        res.thread_counts.tolist())
+        else:
+            res = warp_intersect_kernel(engine, pre, options=options)
+            observed = (res.triangles, res.ticks, res.search_probes,
+                        res.thread_counts.tolist())
+        out[engine_name] = (observed, engine.report.counters(),
+                            pv.data.tolist() if pv is not None else None)
+    return out["lockstep"], out["compacted"]
+
+
+def _assert_identical(graph, options_of, **kw):
+    lockstep, compacted = _run_both(graph, options_of, **kw)
+    assert compacted == lockstep
+
+
+class TestOptionMatrix:
+    @pytest.mark.parametrize("variant", ["final", "preliminary"])
+    @pytest.mark.parametrize("unzip", [True, False])
+    @pytest.mark.parametrize("ro", [True, False])
+    def test_variant_layout_cache_matrix(self, small_rmat, variant,
+                                         unzip, ro):
+        _assert_identical(
+            small_rmat,
+            lambda e: GpuOptions(engine=e, merge_variant=variant,
+                                 unzip=unzip, use_readonly_cache=ro))
+
+    @pytest.mark.parametrize("wsz", [4, 8, 32])
+    def test_simulated_warp_sizes(self, small_ba, wsz):
+        _assert_identical(
+            small_ba,
+            lambda e: GpuOptions(
+                engine=e,
+                launch=LaunchConfig(simulated_warp_size=wsz)))
+
+    def test_small_device(self, small_rmat):
+        _assert_identical(small_rmat,
+                          lambda e: GpuOptions(engine=e),
+                          device=NVS_5200M)
+
+    def test_per_vertex_accumulation(self, small_rmat):
+        _assert_identical(small_rmat,
+                          lambda e: GpuOptions(engine=e),
+                          per_vertex=True)
+
+    def test_arc_subrange(self, small_ba):
+        m = small_ba.num_arcs // 2
+        _assert_identical(small_ba,
+                          lambda e: GpuOptions(engine=e),
+                          lo=3, hi=m)
+
+    def test_degenerate_graphs(self):
+        for graph in (EdgeArray.empty(4),
+                      EdgeArray.from_edges([(0, 1)]),
+                      EdgeArray.from_edges([(0, 1), (1, 2), (0, 2)])):
+            _assert_identical(graph, lambda e: GpuOptions(engine=e))
+
+    def test_unusual_launch(self, small_rmat):
+        _assert_identical(
+            small_rmat,
+            lambda e: GpuOptions(
+                engine=e,
+                launch=LaunchConfig(threads_per_block=512,
+                                    blocks_per_sm=4)))
+
+    def test_warp_intersect_kernel(self, small_rmat):
+        _assert_identical(small_rmat,
+                          lambda e: GpuOptions(engine=e),
+                          kernel="warp_intersect")
+
+
+class TestHypothesis:
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=st.integers(6, 60),
+           attach=st.integers(1, 5),
+           seed=st.integers(0, 2**16),
+           variant=st.sampled_from(["final", "preliminary"]),
+           unzip=st.booleans())
+    def test_random_ba_graphs(self, nodes, attach, seed, variant, unzip):
+        graph = barabasi_albert(nodes, min(attach, nodes - 1), seed=seed)
+        _assert_identical(
+            graph,
+            lambda e: GpuOptions(engine=e, merge_variant=variant,
+                                 unzip=unzip))
+
+    @settings(max_examples=15, deadline=None)
+    @given(scale=st.integers(4, 7),
+           seed=st.integers(0, 2**16),
+           tpb=st.sampled_from([32, 64, 128]),
+           bps=st.integers(1, 4),
+           wsz=st.sampled_from([None, 4, 16]))
+    def test_random_launch_geometry(self, scale, seed, tpb, bps, wsz):
+        graph = rmat(scale, edge_factor=6, seed=seed)
+        launch = LaunchConfig(threads_per_block=tpb, blocks_per_sm=bps,
+                              simulated_warp_size=wsz)
+        _assert_identical(graph,
+                          lambda e: GpuOptions(engine=e, launch=launch))
+
+    @settings(max_examples=10, deadline=None)
+    @given(edges=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)),
+        min_size=1, max_size=40))
+    def test_arbitrary_edge_lists(self, edges):
+        simple = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+        if not simple:
+            return
+        graph = EdgeArray.from_edges(sorted(simple))
+        _assert_identical(graph, lambda e: GpuOptions(engine=e),
+                          per_vertex=True)

@@ -1,0 +1,84 @@
+"""Tests for the engine wall-clock harness (tiny scales only)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.wallclock import (DEFAULT_LAUNCH, DEFAULT_ROWS, run_row,
+                                   run_wallclock)
+from repro.errors import ReproError
+from repro.gpusim.simt import LaunchConfig
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.125")
+
+
+TINY = LaunchConfig(threads_per_block=64, blocks_per_sm=2)
+
+
+class TestRunRow:
+    def test_row_fields_and_identity(self):
+        row = run_row("kron16", 0.015625, repeats=2, launch=TINY)
+        assert row.identical
+        assert row.triangles > 0
+        assert row.speedup > 0
+        assert len(row.lockstep_runs) == 2
+        assert len(row.compacted_runs) == 2
+        # the untimed profiled run attributes the kernel sections
+        assert "merge" in row.host_profile
+        assert row.host_profile["merge"]["seconds"] >= 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError):
+            run_row("nope", None, repeats=1, launch=TINY)
+
+    def test_default_rows_are_skewed_heavy(self):
+        names = [name for name, _ in DEFAULT_ROWS]
+        assert "ba" in names          # Barabasi-Albert rows
+        assert any(n.startswith("kron") for n in names)
+        assert "ws" in names          # the non-skewed contrast row
+        DEFAULT_LAUNCH.validate  # exists
+
+
+class TestReport:
+    def test_report_json_roundtrip(self):
+        report = run_wallclock((("kron16", 0.015625),), repeats=1,
+                               launch=TINY)
+        blob = json.loads(report.json_str())
+        assert blob["benchmark"] == "count_kernel_wallclock"
+        assert blob["launch"]["threads_per_block"] == 64
+        assert len(blob["rows"]) == 1
+        row = blob["rows"][0]
+        assert row["identical"] is True
+        assert row["speedup"] == pytest.approx(
+            row["lockstep_s"] / row["compacted_s"], rel=0.01)
+        assert "host_profile" in row
+
+    def test_format_report(self):
+        report = run_wallclock((("kron16", 0.015625),), repeats=1,
+                               launch=TINY)
+        text = report.format_report()
+        assert "==BENCH==" in text
+        assert "kron16" in text
+        assert "min speedup" in text
+
+
+class TestCli:
+    def test_wallclock_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        assert main(["wallclock", "-w", "kron18", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        blob = json.loads(out.read_text())
+        assert blob["rows"][0]["workload"] == "kron18"
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_min_speedup_gate_fails(self, tmp_path, capsys):
+        # An absurd bar must trip the gate (nonzero exit, FAIL line).
+        assert main(["wallclock", "-w", "kron18", "--repeats", "1",
+                     "--min-speedup", "1000"]) == 1
+        assert "FAIL" in capsys.readouterr().out
