@@ -31,7 +31,7 @@ from repro.graphs.datasets import WORKLOADS, get, kronecker_names
 
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
-             "sweep", "serve", "wallclock", "all")
+             "sweep", "serve", "wallclock", "sanitize", "all")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -66,6 +66,16 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=None, metavar="X",
                    help="wallclock: exit nonzero if any row's "
                         "compacted-vs-lockstep speedup is below X")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="wallclock: committed BENCH_kernel.json to compare "
+                        "speedup ratios against (overhead/drift guard)")
+    p.add_argument("--baseline-tolerance", type=float, default=1.5,
+                   metavar="X",
+                   help="wallclock: allowed speedup drift factor vs the "
+                        "baseline (default: %(default)s)")
+    p.add_argument("--strict", action="store_true",
+                   help="sanitize: run the matrix in strict mode (typed "
+                        "errors at the first finding)")
     return p
 
 
@@ -211,6 +221,36 @@ def main(argv: list[str] | None = None) -> int:
                 and report.min_speedup < args.min_speedup):
             print(f"  FAIL: min speedup {report.min_speedup:.2f}x below "
                   f"required {args.min_speedup:.2f}x")
+            return 1
+        if args.baseline:
+            import json
+
+            from repro.bench.wallclock import baseline_problems
+            with open(args.baseline) as fh:
+                baseline_doc = json.load(fh)
+            drift = baseline_problems(report, baseline_doc,
+                                      tolerance=args.baseline_tolerance)
+            for p in drift:
+                print("  baseline-check:", p)
+            if drift:
+                print(f"  FAIL: speedup drifted beyond "
+                      f"{args.baseline_tolerance:g}x of {args.baseline}")
+                return 1
+            print(f"  baseline check passed ({args.baseline}, "
+                  f"tolerance {args.baseline_tolerance:g}x)")
+
+    if "sanitize" in commands:
+        from repro.sanitize.matrix import run_sanitize_matrix
+        print("\n=== sanitize — clean-kernel matrix "
+              "(memcheck+initcheck+racecheck) ===")
+        sm = run_sanitize_matrix(strict=args.strict, seed=args.seed,
+                                 progress=lambda c: print("  " + c.summary(),
+                                                          flush=True))
+        print(f"  mode={sm.mode} cells={len(sm.cells)} "
+              f"findings={sm.findings} ok={sm.ok}")
+        if not sm.ok:
+            print("  FAIL: sanitizer findings or identity mismatch on "
+                  "clean kernels")
             return 1
 
     if "baselines" in commands:

@@ -34,7 +34,10 @@ Methodology (see docs/simulator.md for the discussion):
 
 ``repro-bench wallclock`` writes the result as ``BENCH_kernel.json``;
 CI runs a scaled-down version and fails if compacted is ever slower
-than lockstep (``--min-speedup 1.0``).
+than lockstep (``--min-speedup 1.0``), and compares speedup ratios
+against the committed file (``--baseline BENCH_kernel.json``) as the
+guard that sanitize-off runs pay no overhead for the sanitizer hooks
+(see :func:`baseline_problems`).
 """
 
 from __future__ import annotations
@@ -232,6 +235,38 @@ def run_row(name: str, scale: float | None, *,
         identical=identical,
         host_profile=profiler.breakdown(),
     )
+
+
+def baseline_problems(report: WallclockReport, baseline_doc: dict,
+                      tolerance: float = 1.5) -> list[str]:
+    """Compare a fresh report against a committed ``BENCH_kernel.json``.
+
+    Rows are matched by ``(workload, scale)`` and compared on their
+    *speedup* — a host-machine-portable ratio, unlike absolute seconds —
+    so the committed file keeps guarding against overhead regressions
+    (e.g. a sanitizer hook accidentally taxing the sanitize-off path)
+    wherever CI happens to run.  A measured speedup below
+    ``baseline / tolerance`` is a problem; faster-than-baseline never
+    is.  Returns human-readable problem strings (empty = within band).
+    """
+    if tolerance < 1.0:
+        raise ReproError(f"tolerance must be >= 1.0, got {tolerance}")
+    baseline = {(row["workload"], row["scale"]): row["speedup"]
+                for row in baseline_doc.get("rows", [])}
+    problems = []
+    for row in report.rows:
+        want = baseline.get((row.workload, row.scale))
+        if want is None:
+            problems.append(f"{row.workload} scale={row.scale}: "
+                            "no matching baseline row")
+            continue
+        floor = want / tolerance
+        if row.speedup < floor:
+            problems.append(
+                f"{row.workload} scale={row.scale}: speedup "
+                f"{row.speedup:.2f}x below {floor:.2f}x "
+                f"(baseline {want:.2f}x / tolerance {tolerance:g})")
+    return problems
 
 
 def run_wallclock(rows=DEFAULT_ROWS, *, repeats: int = 3, seed: int = 0,

@@ -19,6 +19,13 @@ paper's CUDA listing:
 All adjacency walks read the *first* (adjacency-content) column through
 the engine's cache hierarchy; this kernel is the entire source of the
 Table II counters.
+
+Both engine variants are held sanitizer-clean — no out-of-bounds index
+(the Section III-D3 pad slot absorbs the one-past-the-end reads of the
+``final`` merge variant), no uninitialized read, and no same-step
+cross-warp hazard (per-thread result slots; corner accumulation only
+via ``atomic_add``) — enforced across the full configuration matrix by
+``repro-bench sanitize --strict``.
 """
 
 from __future__ import annotations

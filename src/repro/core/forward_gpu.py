@@ -47,6 +47,9 @@ class GpuRunResult:
     num_forward_arcs: int
     #: Populated by the multi-GPU pipeline: one (report, timing) per card.
     per_device: list = field(default_factory=list)
+    #: Structured sanitizer findings when ``options.sanitize != "off"``
+    #: (empty for a clean run — the expected state).
+    sanitizer_reports: list = field(default_factory=list)
 
     @property
     def total_ms(self) -> float:
@@ -104,38 +107,57 @@ def gpu_count_triangles(graph: EdgeArray,
         raise ReproError(
             f"memory belongs to {memory.spec.name!r}, not {device.name!r}")
 
+    sanitizer = None
+    if options.sanitize != "off":
+        from repro.sanitize import Sanitizer
+
+        sanitizer = Sanitizer(mode=options.sanitize)
+        # Attach before the first allocation so initcheck sees the
+        # ``alloc_empty`` below and every preprocessing buffer.
+        memory.sanitizer = sanitizer
+
     timeline = Timeline()
-    engine = SimtEngine(device, options.launch,
-                        use_ro_cache=options.use_readonly_cache)
-    # The per-thread result array lives for the whole run; allocating it
-    # up front makes it part of the footprint the Section III-D6 fallback
-    # logic sees (otherwise preprocessing could "fit" and the run still
-    # die at the kernel launch).
-    result_buf = memory.alloc_empty("result", engine.num_threads, COUNT_DTYPE)
-    pre = preprocess(graph, device, memory, timeline, options)
-    if options.kernel == "warp_intersect":
-        from repro.core.warp_intersect_kernel import warp_intersect_kernel
+    try:
+        engine = SimtEngine(device, options.launch,
+                            use_ro_cache=options.use_readonly_cache,
+                            sanitizer=sanitizer)
+        # The per-thread result array lives for the whole run; allocating
+        # it up front makes it part of the footprint the Section III-D6
+        # fallback logic sees (otherwise preprocessing could "fit" and
+        # the run still die at the kernel launch).
+        result_buf = memory.alloc_empty("result", engine.num_threads,
+                                        COUNT_DTYPE)
+        pre = preprocess(graph, device, memory, timeline, options)
+        if options.kernel == "warp_intersect":
+            from repro.core.warp_intersect_kernel import warp_intersect_kernel
 
-        kres = warp_intersect_kernel(engine, pre, result_buf=result_buf)
-        kernel_name = "WarpIntersect"
-    else:
-        kres = count_triangles_kernel(engine, pre, options,
-                                      result_buf=result_buf)
-        kernel_name = "CountTriangles"
+            kres = warp_intersect_kernel(engine, pre, result_buf=result_buf)
+            kernel_name = "WarpIntersect"
+        else:
+            kres = count_triangles_kernel(engine, pre, options,
+                                          result_buf=result_buf)
+            kernel_name = "CountTriangles"
 
-    timing = time_kernel(engine.report)
-    timeline.add(kernel_name, timing.kernel_ms, phase="count")
+        timing = time_kernel(engine.report)
+        timeline.add(kernel_name, timing.kernel_ms, phase="count")
 
-    total = thrustlike.reduce_sum(device, result_buf, timeline, phase="reduce")
-    if total != kres.triangles:
-        raise ReproError("device reduce disagrees with kernel counts "
-                         f"({total} vs {kres.triangles})")
-    timeline.add("d2h result", memory.d2h_ms(np.dtype(COUNT_DTYPE).itemsize),
-                 phase="reduce")
-    memory.free_all()
+        total = thrustlike.reduce_sum(device, result_buf, timeline,
+                                      phase="reduce")
+        if total != kres.triangles:
+            raise ReproError("device reduce disagrees with kernel counts "
+                             f"({total} vs {kres.triangles})")
+        timeline.add("d2h result",
+                     memory.d2h_ms(np.dtype(COUNT_DTYPE).itemsize),
+                     phase="reduce")
+        memory.free_all()
+    finally:
+        if sanitizer is not None:
+            memory.sanitizer = None
 
     return GpuRunResult(triangles=total, device=device, options=options,
                         timeline=timeline, kernel_report=engine.report,
                         kernel_timing=timing,
                         used_cpu_fallback=pre.used_cpu_fallback,
-                        num_forward_arcs=pre.num_forward_arcs)
+                        num_forward_arcs=pre.num_forward_arcs,
+                        sanitizer_reports=(sanitizer.reports
+                                           if sanitizer is not None else []))

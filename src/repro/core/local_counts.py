@@ -12,7 +12,7 @@ preprocessing already computed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,6 +39,7 @@ class LocalCountResult:
     average_clustering: float
     transitivity: float
     total_ms: float
+    sanitizer_reports: list = field(default_factory=list)
 
 
 def gpu_local_counts(graph: EdgeArray,
@@ -53,26 +54,39 @@ def gpu_local_counts(graph: EdgeArray,
     """
     if memory is None:
         memory = DeviceMemory(device)
+    sanitizer = None
+    if options.sanitize != "off":
+        from repro.sanitize import Sanitizer
+
+        sanitizer = Sanitizer(mode=options.sanitize)
+        memory.sanitizer = sanitizer
     timeline = Timeline()
-    engine = SimtEngine(device, options.launch,
-                        use_ro_cache=options.use_readonly_cache)
-    result_buf = memory.alloc_empty("result", engine.num_threads, COUNT_DTYPE)
-    per_vertex = memory.alloc("per_vertex",
-                              np.zeros(max(graph.num_nodes, 1), np.int64))
-    pre = preprocess(graph, device, memory, timeline, options)
+    try:
+        engine = SimtEngine(device, options.launch,
+                            use_ro_cache=options.use_readonly_cache,
+                            sanitizer=sanitizer)
+        result_buf = memory.alloc_empty("result", engine.num_threads,
+                                        COUNT_DTYPE)
+        per_vertex = memory.alloc("per_vertex",
+                                  np.zeros(max(graph.num_nodes, 1), np.int64))
+        pre = preprocess(graph, device, memory, timeline, options)
 
-    kres = count_triangles_kernel(engine, pre, options,
-                                  result_buf=result_buf,
-                                  per_vertex_buf=per_vertex)
-    timing = time_kernel(engine.report)
-    timeline.add("CountTriangles+local", timing.kernel_ms, phase="count")
+        kres = count_triangles_kernel(engine, pre, options,
+                                      result_buf=result_buf,
+                                      per_vertex_buf=per_vertex)
+        timing = time_kernel(engine.report)
+        timeline.add("CountTriangles+local", timing.kernel_ms, phase="count")
 
-    total = thrustlike.reduce_sum(device, result_buf, timeline,
-                                  phase="reduce")
-    local = per_vertex.data[:graph.num_nodes].copy()
-    timeline.add("d2h per-vertex counts", memory.d2h_ms(local.nbytes),
-                 phase="reduce")
-    memory.free_all()
+        total = thrustlike.reduce_sum(device, result_buf, timeline,
+                                      phase="reduce")
+        # d2h readback of the accumulator (host phase, not kernel code).
+        local = per_vertex.data[:graph.num_nodes].copy()  # san-ok: SAN101
+        timeline.add("d2h per-vertex counts", memory.d2h_ms(local.nbytes),
+                     phase="reduce")
+        memory.free_all()
+    finally:
+        if sanitizer is not None:
+            memory.sanitizer = None
 
     if int(local.sum()) != 3 * total:
         raise ReproError(
@@ -91,4 +105,6 @@ def gpu_local_counts(graph: EdgeArray,
         local_clustering=coeff,
         average_clustering=float(coeff.mean()) if graph.num_nodes else 0.0,
         transitivity=(3.0 * total / total_wedges) if total_wedges else 0.0,
-        total_ms=timeline.total_ms)
+        total_ms=timeline.total_ms,
+        sanitizer_reports=(sanitizer.reports
+                           if sanitizer is not None else []))

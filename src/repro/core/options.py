@@ -20,6 +20,8 @@ MERGE_VARIANTS = ("final", "preliminary")
 KERNELS = ("two_pointer", "warp_intersect")
 #: Valid values for :attr:`GpuOptions.engine`.
 ENGINES = ("compacted", "lockstep")
+#: Valid values for :attr:`GpuOptions.sanitize`.
+SANITIZE_MODES = ("off", "report", "strict")
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,17 @@ class GpuOptions:
         produce bit-identical counts and :class:`KernelReport` counters
         (enforced by ``tests/test_engine_equivalence.py``), which is why
         this field is *excluded* from :meth:`cache_key`.
+    sanitize : str
+        Dynamic sanitizer layer (``repro.sanitize``): ``"off"``
+        (default — zero overhead, a single ``None`` check per engine
+        access), ``"report"`` (record structured
+        :class:`~repro.sanitize.SanitizerReport` findings and keep
+        running), or ``"strict"`` (raise the matching typed error from
+        :mod:`repro.errors` at the first finding).  Identity-preserving
+        by contract — the checkers only observe, so
+        :class:`KernelReport` counters and results are bit-identical
+        with sanitize on or off; like ``engine``, the field is excluded
+        from :meth:`cache_key`.
     """
 
     unzip: bool = True
@@ -74,6 +87,7 @@ class GpuOptions:
     cpu_preprocess: str = "auto"
     kernel: str = "two_pointer"
     engine: str = "compacted"
+    sanitize: str = "off"
 
     def __post_init__(self):
         if self.merge_variant not in MERGE_VARIANTS:
@@ -90,6 +104,10 @@ class GpuOptions:
         if self.engine not in ENGINES:
             raise ReproError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.sanitize not in SANITIZE_MODES:
+            raise ReproError(
+                f"sanitize must be one of {SANITIZE_MODES}, "
+                f"got {self.sanitize!r}")
         if self.kernel == "warp_intersect" and not self.unzip:
             raise ReproError(
                 "the warp_intersect kernel requires the SoA layout "
@@ -109,9 +127,10 @@ class GpuOptions:
         scalars so the key survives pickling and dict/set use regardless
         of how the nested :class:`LaunchConfig` evolves.
 
-        ``engine`` is deliberately absent: it changes only how fast the
-        *host* simulates, never what is simulated, so runs under either
-        engine may share cached preprocessing and memoized results.
+        ``engine`` and ``sanitize`` are deliberately absent: both change
+        only how the *host* simulates (speed / checking), never what is
+        simulated, so runs under any combination may share cached
+        preprocessing and memoized results.
         """
         return ("gpuopts",
                 self.unzip, self.sort_as_u64, self.merge_variant,

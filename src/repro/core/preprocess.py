@@ -25,6 +25,10 @@ first, halving what the device must hold (≈ 9 bytes/arc).
 
 from __future__ import annotations
 
+# repro-lint: allow=SAN101 — preprocessing is host-orchestrated device
+# work (thrust calls operate on buffer payloads directly, like
+# thrust::device_ptr dereferences); the counting kernel never does this.
+
 from dataclasses import dataclass
 
 import numpy as np

@@ -61,6 +61,68 @@ class KernelFault(DeviceError):
     """A simulated kernel accessed memory outside an allocated region."""
 
 
+class InvalidFreeError(DeviceError):
+    """A ``DeviceMemory.free`` call that no correct program issues.
+
+    Base of the two concrete cases below; carries the buffer name so
+    fleet-level failures can be attributed without a debugger.
+    """
+
+    def __init__(self, buffer: str, message: str):
+        self.buffer = buffer
+        super().__init__(message)
+
+
+class DoubleFreeError(InvalidFreeError):
+    """A device buffer was freed twice (``cudaErrorInvalidValue``)."""
+
+    def __init__(self, buffer: str):
+        super().__init__(buffer, f"double free of device buffer {buffer!r}")
+
+
+class ForeignFreeError(InvalidFreeError):
+    """A buffer was freed on a :class:`DeviceMemory` that never allocated
+    it (e.g. a raw view, a reservation from another device, or a stale
+    handle whose address was reused)."""
+
+    def __init__(self, buffer: str, device: str):
+        super().__init__(
+            buffer,
+            f"buffer {buffer!r} was not allocated by device {device!r} "
+            f"(foreign or stale handle)")
+
+
+class SanitizerError(DeviceError):
+    """Base class of strict-mode sanitizer failures.
+
+    Attributes
+    ----------
+    report : repro.sanitize.SanitizerReport or None
+        The structured finding that triggered the error (checker, kernel
+        step, warp/lane, buffer name, address).
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
+class MemcheckError(SanitizerError):
+    """Strict-mode memcheck finding: out-of-bounds access, use after
+    free, or misaligned access."""
+
+
+class InitcheckError(SanitizerError):
+    """Strict-mode initcheck finding: a read from device memory that was
+    never written since allocation (``cudaMalloc`` without a fill)."""
+
+
+class RacecheckError(SanitizerError):
+    """Strict-mode racecheck finding: a same-address write/write or
+    read/write hazard across warps within one step that bypassed
+    ``atomic_add``."""
+
+
 class CalibrationError(ReproError):
     """A timing-model constant is missing or inconsistent."""
 

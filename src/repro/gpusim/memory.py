@@ -18,7 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import OutOfDeviceMemoryError
+from repro.errors import (DoubleFreeError, ForeignFreeError,
+                          OutOfDeviceMemoryError)
 from repro.gpusim.device import DeviceSpec
 
 #: cudaMalloc alignment.
@@ -77,6 +78,9 @@ class DeviceMemory:
         self._live: dict[int, DeviceBuffer] = {}
         self.peak_bytes = 0
         self.total_allocated_bytes = 0
+        #: Optional :class:`repro.sanitize.Sanitizer` observing
+        #: allocation events; ``None`` keeps the paths hook-free.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------ #
 
@@ -123,24 +127,50 @@ class DeviceMemory:
             return None
         return self._place(name, data.copy(), size)
 
-    def _place(self, name: str, payload: np.ndarray, size: int) -> DeviceBuffer:
+    def _place(self, name: str, payload: np.ndarray, size: int,
+               initialized: bool = True) -> DeviceBuffer:
         buf = DeviceBuffer(name=name, data=payload, device_addr=self._top,
                            alloc_bytes=size)
         self._top += size
         self._live[buf.device_addr] = buf
         self.total_allocated_bytes += size
         self.peak_bytes = max(self.peak_bytes, self._top)
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(buf, initialized=initialized)
         return buf
 
     def alloc_empty(self, name: str, shape, dtype) -> DeviceBuffer:
-        """Allocate an uninitialized buffer (``cudaMalloc`` without copy)."""
-        return self.alloc(name, np.empty(shape, dtype=dtype))
+        """Allocate an uninitialized buffer (``cudaMalloc`` without copy).
+
+        The sanitizer's initcheck treats the whole region as invalid
+        until a device ``write``/``atomic_add`` covers it.
+        """
+        data = np.empty(shape, dtype=dtype)
+        size = aligned_nbytes(data.nbytes)
+        if size > self.free_bytes:
+            raise OutOfDeviceMemoryError(requested=size,
+                                         available=self.free_bytes)
+        return self._place(name, data, size, initialized=False)
 
     def free(self, buf: DeviceBuffer) -> None:
-        """Release a buffer; space is reclaimed once the top buffer frees."""
+        """Release a buffer; space is reclaimed once the top buffer frees.
+
+        Raises
+        ------
+        DoubleFreeError
+            If ``buf`` was already freed.
+        ForeignFreeError
+            If ``buf`` was never allocated by this :class:`DeviceMemory`
+            (raw view, reservation of another device, stale handle whose
+            address was reused).
+        """
         if buf.freed:
-            raise ValueError(f"double free of device buffer {buf.name!r}")
+            raise DoubleFreeError(buf.name)
+        if self._live.get(buf.device_addr) is not buf:
+            raise ForeignFreeError(buf.name, self.spec.name)
         buf.freed = True
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(buf)
         del self._live[buf.device_addr]
         # Reclaim the now-free suffix of the heap.
         if self._live:
@@ -154,6 +184,8 @@ class DeviceMemory:
         """Release everything (end-of-run ``cudaFree`` sweep)."""
         for buf in list(self._live.values()):
             buf.freed = True
+            if self.sanitizer is not None:
+                self.sanitizer.on_free(buf)
         self._live.clear()
         self._top = 0
 

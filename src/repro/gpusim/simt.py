@@ -65,27 +65,37 @@ class LaunchConfig:
     simulated_warp_size: int | None = None
 
     def validate(self, device: DeviceSpec) -> None:
+        """Check the geometry against ``device``'s limits.
+
+        Every message names the device and the violated limit value, so
+        fleet-level failures (many devices, one bad config) attribute
+        without a debugger.
+        """
         tpb, bps = self.threads_per_block, self.blocks_per_sm
         if tpb < 1 or tpb > device.max_threads_per_block:
             raise InvalidLaunchError(
-                f"threads_per_block={tpb} outside [1, {device.max_threads_per_block}]")
+                f"threads_per_block={tpb} outside "
+                f"[1, {device.max_threads_per_block}] "
+                f"(max_threads_per_block on {device.name})")
         if tpb % device.warp_size:
             raise InvalidLaunchError(
                 f"threads_per_block={tpb} not a multiple of warp size "
-                f"{device.warp_size}")
+                f"{device.warp_size} on {device.name}")
         if bps < 1 or bps > device.max_blocks_per_sm:
             raise InvalidLaunchError(
-                f"blocks_per_sm={bps} outside [1, {device.max_blocks_per_sm}]")
+                f"blocks_per_sm={bps} outside [1, {device.max_blocks_per_sm}] "
+                f"(max_blocks_per_sm on {device.name})")
         if tpb * bps > device.max_threads_per_sm:
             raise InvalidLaunchError(
                 f"{tpb} threads/block × {bps} blocks/SM exceeds "
-                f"{device.max_threads_per_sm} resident threads per SM")
+                f"{device.max_threads_per_sm} resident threads per SM "
+                f"on {device.name}")
         if self.simulated_warp_size is not None:
             sws = self.simulated_warp_size
             if sws < 1 or device.warp_size % sws:
                 raise InvalidLaunchError(
                     f"simulated_warp_size={sws} must divide warp size "
-                    f"{device.warp_size}")
+                    f"{device.warp_size} on {device.name}")
 
     def grid_blocks(self, device: DeviceSpec) -> int:
         return self.blocks_per_sm * device.num_sms
@@ -189,18 +199,26 @@ class SimtEngine:
         Kepler/Maxwell part), global loads bypass the per-SM cache and go
         to L2 at sector granularity.  Fermi parts cache global loads in
         L1 regardless (`device.caches_global_loads_by_default`).
+    sanitizer : repro.sanitize.Sanitizer, optional
+        Dynamic checker layer (memcheck / initcheck / racecheck).  The
+        hooks are pure observers — :class:`KernelReport` counters are
+        bit-identical with or without one attached — and cost a single
+        ``None`` check per access when absent.
     """
 
     def __init__(self, device: DeviceSpec, launch: LaunchConfig,
-                 use_ro_cache: bool = True):
+                 use_ro_cache: bool = True, sanitizer=None):
         launch.validate(device)
         self.device = device
         self.launch = launch
+        self.sanitizer = sanitizer
 
         warp = launch.simulated_warp_size or device.warp_size
         self.warp_size = warp
         self.num_threads = launch.total_threads(device)
         self.num_warps = self.num_threads // warp
+        if sanitizer is not None:
+            sanitizer.bind_engine(self)
 
         # Warp → SM ownership: blocks are distributed round-robin over SMs
         # (how the hardware distributes a grid sized blocks_per_sm × SMs).
@@ -262,12 +280,16 @@ class SimtEngine:
             return buf.data[indices]
         prof = self.host_profiler
         t0 = perf_counter() if prof is not None else 0.0
-        lo = int(indices.min())
-        hi = int(indices.max())
-        if lo < 0 or hi >= len(buf.data):
-            raise KernelFault(
-                f"out-of-bounds read from {buf.name!r}: index range "
-                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        if self.sanitizer is not None:
+            indices = self.sanitizer.on_access(buf, indices, thread_ids,
+                                               "read")
+        else:
+            lo = int(indices.min())
+            hi = int(indices.max())
+            if lo < 0 or hi >= len(buf.data):
+                raise KernelFault(
+                    f"out-of-bounds read from {buf.name!r}: index range "
+                    f"[{lo}, {hi}] outside [0, {len(buf.data)})")
         values = buf.data[indices]
 
         addrs = buf.addresses(indices)
@@ -315,12 +337,16 @@ class SimtEngine:
         t0 = perf_counter() if prof is not None else 0.0
         if indices.dtype != np.int64:
             indices = indices.astype(np.int64)
-        lo = int(indices.min())
-        hi = int(indices.max())
-        if lo < 0 or hi >= len(buf.data):
-            raise KernelFault(
-                f"out-of-bounds read from {buf.name!r}: index range "
-                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        if self.sanitizer is not None:
+            indices = self.sanitizer.on_access(buf, indices, thread_ids,
+                                               "read")
+        else:
+            lo = int(indices.min())
+            hi = int(indices.max())
+            if lo < 0 or hi >= len(buf.data):
+                raise KernelFault(
+                    f"out-of-bounds read from {buf.name!r}: index range "
+                    f"[{lo}, {hi}] outside [0, {len(buf.data)})")
         values = buf.data[indices]
         rep = self.report
         rep.lane_reads += n
@@ -494,12 +520,16 @@ class SimtEngine:
             return
         prof = self.host_profiler
         t0 = perf_counter() if prof is not None else 0.0
-        lo = int(indices.min())
-        hi = int(indices.max())
-        if lo < 0 or hi >= len(buf.data):
-            raise KernelFault(
-                f"out-of-bounds write to {buf.name!r}: index range "
-                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        if self.sanitizer is not None:
+            indices = self.sanitizer.on_access(buf, indices, thread_ids,
+                                               "write")
+        else:
+            lo = int(indices.min())
+            hi = int(indices.max())
+            if lo < 0 or hi >= len(buf.data):
+                raise KernelFault(
+                    f"out-of-bounds write to {buf.name!r}: index range "
+                    f"[{lo}, {hi}] outside [0, {len(buf.data)})")
         buf.data[indices] = values
         addrs = buf.addresses(indices)
         warp_ids = np.asarray(thread_ids) // self.warp_size
@@ -522,12 +552,16 @@ class SimtEngine:
         indices = np.asarray(indices)
         if len(indices) == 0:
             return
-        lo = int(indices.min())
-        hi = int(indices.max())
-        if lo < 0 or hi >= len(buf.data):
-            raise KernelFault(
-                f"out-of-bounds atomic on {buf.name!r}: index range "
-                f"[{lo}, {hi}] outside [0, {len(buf.data)})")
+        if self.sanitizer is not None:
+            indices = self.sanitizer.on_access(buf, indices, thread_ids,
+                                               "atomic")
+        else:
+            lo = int(indices.min())
+            hi = int(indices.max())
+            if lo < 0 or hi >= len(buf.data):
+                raise KernelFault(
+                    f"out-of-bounds atomic on {buf.name!r}: index range "
+                    f"[{lo}, {hi}] outside [0, {len(buf.data)})")
         prof = self.host_profiler
         t0 = perf_counter() if prof is not None else 0.0
         np.add.at(buf.data, indices, values)
@@ -574,6 +608,8 @@ class SimtEngine:
         rep.total_warp_steps += n_warps
         rep.active_lane_sum += int(lane_counts.sum())
         np.add.at(rep.sm_instruction_slots, self.warp_sm[warp_ids], instructions)
+        if self.sanitizer is not None:
+            self.sanitizer.on_step_end(kind)
         if prof is not None:
             prof.add("accounting", perf_counter() - t0)
 
@@ -597,5 +633,7 @@ class SimtEngine:
         rep.total_warp_steps += n_warps
         rep.active_lane_sum += int(lane_counts.sum())
         np.add.at(rep.sm_instruction_slots, self.warp_sm[warp_ids], instructions)
+        if self.sanitizer is not None:
+            self.sanitizer.on_step_end(kind)
         if prof is not None:
             prof.add("accounting", perf_counter() - t0)

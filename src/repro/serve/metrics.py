@@ -41,6 +41,10 @@ class ServeReport:
     #: host-side wall-clock attribution of the replay's simulator work
     #: (see :mod:`repro.gpusim.hostprof`); ``None`` when not collected.
     host_profiler: object | None = None
+    #: total sanitizer findings across all pipeline runs (only nonzero
+    #: when jobs carry ``options.sanitize != "off"``; a clean fleet
+    #: serves every trace at 0).
+    sanitizer_findings: int = 0
 
     # ------------------------------------------------------------------ #
     # job populations
@@ -184,6 +188,7 @@ class ServeReport:
                f"{self.faults} ({len(self.retried)})")
         metric("deadline misses", f"{self.deadline_misses}")
         metric("lost jobs", f"{len(self.lost)}")
+        metric("sanitizer findings", f"{self.sanitizer_findings}")
         span = self.makespan_ms
         for dev in self.fleet:
             state = ("FAILED @ " + human_ms(dev.fail_at_ms)

@@ -57,6 +57,7 @@ class _GpuRunMemo:
     hit_service_ms: float        # count + reduce phases (a cache hit's cost)
     resident_nbytes: int         # what a cache entry of it occupies
     used_cpu_fallback: bool
+    sanitizer_findings: int = 0  # nonzero only with options.sanitize on
 
 
 class FleetScheduler:
@@ -207,6 +208,8 @@ class FleetScheduler:
         dev.busy_until_ms = end
         dev.busy_ms += service
         dev.jobs_completed += 1
+        if memo is not None:
+            report.sanitizer_findings += memo.sanitizer_findings
         if self.cache_enabled and memo is not None:
             dev.cache.insert(cache_key, memo.resident_nbytes,
                              triangles=memo.triangles,
@@ -244,7 +247,9 @@ class FleetScheduler:
                                 + run.timeline.phase_ms("reduce")),
                 resident_nbytes=preprocessed_nbytes(
                     job.graph.num_nodes, run.num_forward_arcs, job.options),
-                used_cpu_fallback=run.used_cpu_fallback)
+                used_cpu_fallback=run.used_cpu_fallback,
+                sanitizer_findings=sum(r.occurrences
+                                       for r in run.sanitizer_reports))
             self._gpu_memo[key] = memo
         return memo
 

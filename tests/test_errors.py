@@ -2,22 +2,43 @@
 
 import pytest
 
-from repro.errors import (CalibrationError, DeviceError, GraphFormatError,
-                          InvalidLaunchError, KernelFault,
-                          OutOfDeviceMemoryError, ReproError, WorkloadError)
+from repro.errors import (CalibrationError, DeviceError, DoubleFreeError,
+                          ForeignFreeError, GraphFormatError, InitcheckError,
+                          InvalidFreeError, InvalidLaunchError, KernelFault,
+                          MemcheckError, OutOfDeviceMemoryError,
+                          RacecheckError, ReproError, SanitizerError,
+                          WorkloadError)
 
 
 class TestHierarchy:
     def test_everything_is_a_repro_error(self):
         for exc in (GraphFormatError, DeviceError, OutOfDeviceMemoryError,
                     InvalidLaunchError, KernelFault, CalibrationError,
-                    WorkloadError):
+                    WorkloadError, InvalidFreeError, SanitizerError):
             assert issubclass(exc, ReproError), exc
 
     def test_device_sub_hierarchy(self):
         assert issubclass(OutOfDeviceMemoryError, DeviceError)
         assert issubclass(InvalidLaunchError, DeviceError)
         assert issubclass(KernelFault, DeviceError)
+        assert issubclass(InvalidFreeError, DeviceError)
+        assert issubclass(SanitizerError, DeviceError)
+
+    def test_free_sub_hierarchy(self):
+        assert issubclass(DoubleFreeError, InvalidFreeError)
+        assert issubclass(ForeignFreeError, InvalidFreeError)
+        exc = DoubleFreeError("result")
+        assert exc.buffer == "result"
+        assert "result" in str(exc)
+        exc = ForeignFreeError("stray", "GTX 980")
+        assert exc.buffer == "stray"
+        assert "GTX 980" in str(exc)
+
+    def test_sanitizer_sub_hierarchy(self):
+        for exc in (MemcheckError, InitcheckError, RacecheckError):
+            assert issubclass(exc, SanitizerError), exc
+        err = MemcheckError("oob", report=None)
+        assert err.report is None
 
     def test_one_catch_all(self, small_rmat):
         """A caller can guard any library call with one except clause."""

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.errors import OutOfDeviceMemoryError
+from repro.errors import (DoubleFreeError, ForeignFreeError,
+                          InvalidFreeError, OutOfDeviceMemoryError)
 from repro.gpusim.device import GTX_980, TESLA_C2050
 from repro.gpusim.memory import DeviceMemory
 
@@ -123,7 +124,38 @@ class TestFree:
         mem = _mem()
         a = mem.alloc("a", np.zeros(1, np.int32))
         mem.free(a)
-        with pytest.raises(ValueError, match="double free"):
+        with pytest.raises(DoubleFreeError, match="double free") as exc:
+            mem.free(a)
+        assert exc.value.buffer == "a"
+
+    def test_foreign_free_rejected(self):
+        mem = _mem()
+        other = _mem()
+        stray = other.alloc("stray", np.zeros(4, np.int32))
+        with pytest.raises(ForeignFreeError, match="not allocated") as exc:
+            mem.free(stray)
+        assert exc.value.buffer == "stray"
+        assert mem.spec.name in str(exc.value)
+
+    def test_stale_handle_free_rejected(self):
+        # Free a buffer, allocate a new one at the same address, then
+        # free through the stale handle: the address is live again but
+        # the handle is not the live buffer.
+        mem = _mem()
+        a = mem.alloc("a", np.zeros(8, np.int32))
+        mem.free(a)
+        b = mem.alloc("b", np.zeros(8, np.int32))
+        assert b.device_addr == a.device_addr
+        a.freed = False  # simulate a caller clinging to the old handle
+        with pytest.raises(ForeignFreeError):
+            mem.free(a)
+        mem.free(b)
+
+    def test_invalid_free_is_typed(self):
+        mem = _mem()
+        a = mem.alloc("a", np.zeros(1, np.int32))
+        mem.free(a)
+        with pytest.raises(InvalidFreeError):
             mem.free(a)
 
     def test_free_all(self):

@@ -46,6 +46,24 @@ class TestLaunchConfig:
         with pytest.raises(InvalidLaunchError):
             LaunchConfig(64, 8, simulated_warp_size=24).validate(GTX_980)
 
+    def test_messages_name_device_and_limit(self):
+        # Fleet-level attribution: every validate message carries the
+        # device name and the violated limit's value.
+        cases = [
+            (LaunchConfig(48, 1), GTX_980, str(GTX_980.warp_size)),
+            (LaunchConfig(2048, 1), GTX_980,
+             str(GTX_980.max_threads_per_block)),
+            (LaunchConfig(32, 33), GTX_980,
+             str(GTX_980.max_blocks_per_sm)),
+            (LaunchConfig(1024, 8), TESLA_C2050,
+             str(TESLA_C2050.max_threads_per_sm)),
+        ]
+        for launch, device, limit in cases:
+            with pytest.raises(InvalidLaunchError) as exc:
+                launch.validate(device)
+            assert device.name in str(exc.value)
+            assert limit in str(exc.value)
+
 
 def _engine(device=GTX_980, **kw):
     return SimtEngine(device, LaunchConfig(64, 1), **kw)
