@@ -28,6 +28,7 @@ from repro.bench.experiments import (amdahl_experiment, baseline_experiment,
                                      run_all_ablations)
 from repro.bench.runner import run_table1
 from repro.graphs.datasets import WORKLOADS, get, kronecker_names
+from repro.runtime import kernel_names
 
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
@@ -63,6 +64,11 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3, metavar="N",
                    help="wallclock: timed runs per engine per row "
                         "(default: %(default)s)")
+    p.add_argument("--kernel", action="append", dest="kernels",
+                   choices=list(kernel_names()), metavar="NAME",
+                   help="wallclock: kernel(s) to measure — repeat the flag "
+                        f"to widen the matrix (choices: "
+                        f"{', '.join(kernel_names())}; default: merge)")
     p.add_argument("--min-speedup", type=float, default=None, metavar="X",
                    help="wallclock: exit nonzero if any row's "
                         "compacted-vs-lockstep speedup is below X")
@@ -204,7 +210,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.workloads:
             wanted = set(args.workloads)
             wc_rows = tuple(r for r in DEFAULT_ROWS if r[0] in wanted)
-        report = run_wallclock(wc_rows, repeats=args.repeats,
+        report = run_wallclock(wc_rows,
+                               kernels=tuple(args.kernels or ("merge",)),
+                               repeats=args.repeats,
                                seed=args.seed,
                                progress=lambda r: print("  " + r.summary(),
                                                         flush=True))

@@ -30,16 +30,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.count_kernel import count_triangles_kernel
+from repro.core.options import GpuOptions
 from repro.core.preprocess import preprocess
-from repro.core.warp_intersect_kernel import warp_intersect_kernel
 from repro.errors import ReproError
 from repro.graphs.edgearray import EdgeArray
 from repro.gpusim import thrustlike
 from repro.gpusim.device import DeviceSpec, GTX_980
 from repro.gpusim.memory import DeviceMemory
-from repro.gpusim.simt import LaunchConfig, SimtEngine
 from repro.gpusim.timing import LAUNCH_OVERHEAD_MS, Timeline, time_kernel
+from repro.runtime import build_engine, dispatch_kernel, get_kernel
 
 #: Length classes the comparator bins edges into (one launch each).
 GREEN_BIN_CLASSES = 8
@@ -76,11 +75,12 @@ def compare_with_green(graph: EdgeArray,
                        device: DeviceSpec = GTX_980) -> GreenComparison:
     """Run both pipelines on the same preprocessed structures."""
     # --- Polak pipeline ------------------------------------------------ #
+    opts = GpuOptions()
     mem = DeviceMemory(device)
     tl_polak = Timeline()
     pre = preprocess(graph, device, mem, tl_polak)
-    engine = SimtEngine(device, LaunchConfig())
-    res_polak = count_triangles_kernel(engine, pre)
+    engine = build_engine(device, opts)
+    res_polak = dispatch_kernel(get_kernel("merge"), engine, pre, opts)
     t_polak = time_kernel(engine.report)
     tl_polak.add("CountTriangles", t_polak.kernel_ms, phase="count")
     mem.free_all()
@@ -100,8 +100,9 @@ def compare_with_green(graph: EdgeArray,
                                       2.0 * np.log2(max(GREEN_BIN_CLASSES, 2))))
     tl_green.add("per-bin launches",
                  GREEN_BIN_CLASSES * LAUNCH_OVERHEAD_MS)
-    engine_g = SimtEngine(device, LaunchConfig())
-    res_green = warp_intersect_kernel(engine_g, pre)
+    engine_g = build_engine(device, opts)
+    res_green = dispatch_kernel(get_kernel("warp_intersect"), engine_g,
+                                pre, opts)
     t_green = time_kernel(engine_g.report)
     tl_green.add("WarpIntersect", t_green.kernel_ms, phase="count")
     mem.free_all()
@@ -153,11 +154,12 @@ def compare_with_leist(graph: EdgeArray,
     from repro.cpu.forward import forward_count_cpu
     from repro.graphs.stats import wedge_counts
 
+    opts = GpuOptions()
     mem = DeviceMemory(device)
     tl = Timeline()
     pre = preprocess(graph, device, mem, tl)
-    engine = SimtEngine(device, LaunchConfig())
-    count_triangles_kernel(engine, pre)
+    engine = build_engine(device, opts)
+    dispatch_kernel(get_kernel("merge"), engine, pre, opts)
     t_forward = time_kernel(engine.report)
     mem.free_all()
 

@@ -49,7 +49,6 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.core.count_kernel import count_triangles_kernel
 from repro.core.options import GpuOptions
 from repro.core.preprocess import preprocess
 from repro.errors import ReproError
@@ -59,6 +58,7 @@ from repro.gpusim.memory import DeviceMemory
 from repro.gpusim.simt import LaunchConfig, SimtEngine
 from repro.gpusim.timing import Timeline
 from repro.graphs.datasets import WORKLOADS
+from repro.runtime import build_engine, dispatch_kernel, get_kernel
 from repro.utils import env_scale
 
 #: The committed row set: the skewed (BA / Kronecker) workloads the
@@ -81,7 +81,7 @@ DEFAULT_LAUNCH = LaunchConfig(threads_per_block=512, blocks_per_sm=4)
 
 @dataclass
 class WallclockRow:
-    """One workload's engine-vs-engine measurement."""
+    """One (workload, kernel) cell's engine-vs-engine measurement."""
 
     workload: str
     scale: float | None
@@ -90,6 +90,7 @@ class WallclockRow:
     triangles: int
     lockstep_s: float               # min over repeats (timeit convention)
     compacted_s: float
+    kernel: str = "merge"           # runtime registry name
     lockstep_runs: list = field(default_factory=list)
     compacted_runs: list = field(default_factory=list)
     identical: bool = True          # counters() equal on every repeat
@@ -103,6 +104,7 @@ class WallclockRow:
         return {
             "workload": self.workload,
             "scale": self.scale,
+            "kernel": self.kernel,
             "nodes": self.nodes,
             "arcs": self.arcs,
             "triangles": self.triangles,
@@ -117,11 +119,12 @@ class WallclockRow:
 
     def summary(self) -> str:
         scale = "default" if self.scale is None else f"{self.scale:g}"
+        kernel = "" if self.kernel == "merge" else f" kernel={self.kernel}"
         return (f"{self.workload:<10} scale={scale:<9} "
                 f"lockstep={self.lockstep_s:7.2f}s "
                 f"compacted={self.compacted_s:7.2f}s "
                 f"speedup={self.speedup:5.2f}x "
-                f"identical={self.identical}")
+                f"identical={self.identical}{kernel}")
 
 
 @dataclass
@@ -176,12 +179,22 @@ def _counters_of(result_engine: SimtEngine) -> dict:
     return result_engine.report.counters()
 
 
-def run_row(name: str, scale: float | None, *,
+def run_row(name: str, scale: float | None, *, kernel: str = "merge",
             repeats: int = 3, seed: int = 0, device_name: str = "gtx980",
             launch: LaunchConfig = DEFAULT_LAUNCH) -> WallclockRow:
-    """Measure one workload row, both engines interleaved."""
+    """Measure one (workload, kernel) cell, both engines interleaved.
+
+    ``kernel`` is a :func:`repro.runtime.get_kernel` registry name —
+    ``merge`` (the default two-pointer row set ``BENCH_kernel.json``
+    commits), ``warp_intersect`` (the Section V comparator) or ``local``
+    (the per-vertex accumulation variant).  The timed region is the
+    kernel body only: the engine is prebuilt and the ``local`` kernel's
+    per-vertex accumulator is allocated once and re-zeroed outside the
+    timer, so cells stay comparable across kernels.
+    """
     if name not in WORKLOADS:
         raise ReproError(f"unknown workload {name!r}")
+    spec = get_kernel(kernel)
     # Explicit row scales honour REPRO_SCALE too (``None`` already does,
     # via ``Workload.build``), so CI can shrink the whole harness.
     build_scale = scale if scale is None else scale * env_scale()
@@ -189,12 +202,19 @@ def run_row(name: str, scale: float | None, *,
     device = DEVICES[device_name]
     launch.validate(device)
 
+    kernel_field = ("warp_intersect" if spec.name == "warp_intersect"
+                    else "two_pointer")
     pres = {}
     for engine_name in ("lockstep", "compacted"):
-        opts = GpuOptions(engine=engine_name, launch=launch)
-        pres[engine_name] = (opts, preprocess(graph, device,
-                                              DeviceMemory(device),
-                                              Timeline(), opts))
+        opts = GpuOptions(engine=engine_name, launch=launch,
+                          kernel=kernel_field)
+        memory = DeviceMemory(device)
+        pre = preprocess(graph, device, memory, Timeline(), opts)
+        per_vertex = (memory.alloc("per_vertex",
+                                   np.zeros(max(graph.num_nodes, 1),
+                                            np.int64))
+                      if spec.per_vertex else None)
+        pres[engine_name] = (opts, pre, per_vertex)
 
     runs: dict[str, list] = {"lockstep": [], "compacted": []}
     baseline = None
@@ -203,10 +223,13 @@ def run_row(name: str, scale: float | None, *,
     for _ in range(repeats):
         per_rep = {}
         for engine_name in ("lockstep", "compacted"):
-            opts, pre = pres[engine_name]
-            engine = SimtEngine(device, launch)
+            opts, pre, per_vertex = pres[engine_name]
+            engine = build_engine(device, opts)
+            if per_vertex is not None:
+                per_vertex.data[:] = 0   # fresh accumulator, untimed
             t0 = perf_counter()
-            result = count_triangles_kernel(engine, pre, opts)
+            result = dispatch_kernel(spec, engine, pre, opts,
+                                     per_vertex_buf=per_vertex)
             runs[engine_name].append(perf_counter() - t0)
             per_rep[engine_name] = (result.triangles,
                                     _counters_of(engine))
@@ -220,12 +243,14 @@ def run_row(name: str, scale: float | None, *,
     # One untimed, profiled compacted run for phase attribution.
     profiler = HostProfiler()
     with host_profiling(profiler):
-        opts, pre = pres["compacted"]
-        engine = SimtEngine(device, launch)
-        count_triangles_kernel(engine, pre, opts)
+        opts, pre, per_vertex = pres["compacted"]
+        engine = build_engine(device, opts)
+        if per_vertex is not None:
+            per_vertex.data[:] = 0
+        dispatch_kernel(spec, engine, pre, opts, per_vertex_buf=per_vertex)
 
     return WallclockRow(
-        workload=name, scale=scale,
+        workload=name, scale=scale, kernel=spec.name,
         nodes=graph.num_nodes, arcs=pres["compacted"][1].num_forward_arcs,
         triangles=triangles,
         lockstep_s=min(runs["lockstep"]),
@@ -241,45 +266,56 @@ def baseline_problems(report: WallclockReport, baseline_doc: dict,
                       tolerance: float = 1.5) -> list[str]:
     """Compare a fresh report against a committed ``BENCH_kernel.json``.
 
-    Rows are matched by ``(workload, scale)`` and compared on their
-    *speedup* — a host-machine-portable ratio, unlike absolute seconds —
-    so the committed file keeps guarding against overhead regressions
-    (e.g. a sanitizer hook accidentally taxing the sanitize-off path)
-    wherever CI happens to run.  A measured speedup below
-    ``baseline / tolerance`` is a problem; faster-than-baseline never
-    is.  Returns human-readable problem strings (empty = within band).
+    Rows are matched by ``(workload, scale, kernel)`` (a baseline row
+    with no ``kernel`` key is a pre-matrix file and means ``merge``) and
+    compared on their *speedup* — a host-machine-portable ratio, unlike
+    absolute seconds — so the committed file keeps guarding against
+    overhead regressions (e.g. a sanitizer hook accidentally taxing the
+    sanitize-off path) wherever CI happens to run.  A measured speedup
+    below ``baseline / tolerance`` is a problem; faster-than-baseline
+    never is.  Returns human-readable problem strings (empty = within
+    band).
     """
     if tolerance < 1.0:
         raise ReproError(f"tolerance must be >= 1.0, got {tolerance}")
-    baseline = {(row["workload"], row["scale"]): row["speedup"]
+    baseline = {(row["workload"], row["scale"],
+                 row.get("kernel", "merge")): row["speedup"]
                 for row in baseline_doc.get("rows", [])}
     problems = []
     for row in report.rows:
-        want = baseline.get((row.workload, row.scale))
+        want = baseline.get((row.workload, row.scale, row.kernel))
         if want is None:
-            problems.append(f"{row.workload} scale={row.scale}: "
-                            "no matching baseline row")
+            problems.append(f"{row.workload} scale={row.scale} "
+                            f"kernel={row.kernel}: no matching baseline row")
             continue
         floor = want / tolerance
         if row.speedup < floor:
             problems.append(
-                f"{row.workload} scale={row.scale}: speedup "
-                f"{row.speedup:.2f}x below {floor:.2f}x "
+                f"{row.workload} scale={row.scale} kernel={row.kernel}: "
+                f"speedup {row.speedup:.2f}x below {floor:.2f}x "
                 f"(baseline {want:.2f}x / tolerance {tolerance:g})")
     return problems
 
 
-def run_wallclock(rows=DEFAULT_ROWS, *, repeats: int = 3, seed: int = 0,
+def run_wallclock(rows=DEFAULT_ROWS, *, kernels=("merge",),
+                  repeats: int = 3, seed: int = 0,
                   device_name: str = "gtx980",
                   launch: LaunchConfig = DEFAULT_LAUNCH,
                   progress=None) -> WallclockReport:
-    """Run the harness over ``rows`` (``(workload, scale)`` pairs)."""
+    """Run the harness over ``rows`` x ``kernels``.
+
+    ``rows`` are ``(workload, scale)`` pairs; ``kernels`` are runtime
+    registry names (``repro-bench wallclock --kernel`` repeats the flag
+    to widen the matrix).  The default single-kernel matrix reproduces
+    the committed ``BENCH_kernel.json`` row set.
+    """
     measured = []
     for name, scale in rows:
-        row = run_row(name, scale, repeats=repeats, seed=seed,
-                      device_name=device_name, launch=launch)
-        if progress is not None:
-            progress(row)
-        measured.append(row)
+        for kernel in kernels:
+            row = run_row(name, scale, kernel=kernel, repeats=repeats,
+                          seed=seed, device_name=device_name, launch=launch)
+            if progress is not None:
+                progress(row)
+            measured.append(row)
     return WallclockReport(rows=measured, device=device_name, launch=launch,
                            repeats=repeats, seed=seed)

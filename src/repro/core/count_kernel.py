@@ -92,9 +92,15 @@ def count_triangles_kernel(engine: SimtEngine,
         return count_triangles_compacted(engine, pre, options, lo=lo, hi=hi,
                                          result_buf=result_buf,
                                          per_vertex_buf=per_vertex_buf)
-    return count_triangles_lockstep(engine, pre, options, lo=lo, hi=hi,
-                                    result_buf=result_buf,
-                                    per_vertex_buf=per_vertex_buf)
+    if options.engine == "lockstep":
+        return count_triangles_lockstep(engine, pre, options, lo=lo, hi=hi,
+                                        result_buf=result_buf,
+                                        per_vertex_buf=per_vertex_buf)
+    # Unreachable through GpuOptions (validated eagerly), but duck-typed
+    # options must not silently fall back to the lockstep reference.
+    from repro.core.options import ENGINES
+    raise ReproError(
+        f"engine must be one of {ENGINES}, got {options.engine!r}")
 
 
 def count_triangles_lockstep(engine: SimtEngine,

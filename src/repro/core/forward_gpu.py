@@ -11,20 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.core.count_kernel import count_triangles_kernel
 from repro.core.options import GpuOptions
-from repro.core.preprocess import preprocess
-from repro.errors import ReproError
 from repro.graphs.edgearray import EdgeArray
-from repro.gpusim import thrustlike
 from repro.gpusim.device import DeviceSpec, GTX_980
 from repro.gpusim.memory import DeviceMemory
-from repro.gpusim.simt import KernelReport, SimtEngine
+from repro.gpusim.simt import KernelReport
 from repro.gpusim.timing import (KernelTiming, Timeline,
-                                 achieved_bandwidth_gbs, time_kernel)
-from repro.types import COUNT_DTYPE, TriangleCount
+                                 achieved_bandwidth_gbs)
+from repro.runtime import LaunchPlan, launch, spec_for_options
+from repro.types import TriangleCount
 
 
 @dataclass
@@ -101,63 +96,11 @@ def gpu_count_triangles(graph: EdgeArray,
         scaled capacity to reproduce the ``†`` memory-pressure behaviour
         at reduced workload scale.
     """
-    if memory is None:
-        memory = DeviceMemory(device)
-    elif memory.spec.name != device.name:
-        raise ReproError(
-            f"memory belongs to {memory.spec.name!r}, not {device.name!r}")
-
-    sanitizer = None
-    if options.sanitize != "off":
-        from repro.sanitize import Sanitizer
-
-        sanitizer = Sanitizer(mode=options.sanitize)
-        # Attach before the first allocation so initcheck sees the
-        # ``alloc_empty`` below and every preprocessing buffer.
-        memory.sanitizer = sanitizer
-
-    timeline = Timeline()
-    try:
-        engine = SimtEngine(device, options.launch,
-                            use_ro_cache=options.use_readonly_cache,
-                            sanitizer=sanitizer)
-        # The per-thread result array lives for the whole run; allocating
-        # it up front makes it part of the footprint the Section III-D6
-        # fallback logic sees (otherwise preprocessing could "fit" and
-        # the run still die at the kernel launch).
-        result_buf = memory.alloc_empty("result", engine.num_threads,
-                                        COUNT_DTYPE)
-        pre = preprocess(graph, device, memory, timeline, options)
-        if options.kernel == "warp_intersect":
-            from repro.core.warp_intersect_kernel import warp_intersect_kernel
-
-            kres = warp_intersect_kernel(engine, pre, result_buf=result_buf)
-            kernel_name = "WarpIntersect"
-        else:
-            kres = count_triangles_kernel(engine, pre, options,
-                                          result_buf=result_buf)
-            kernel_name = "CountTriangles"
-
-        timing = time_kernel(engine.report)
-        timeline.add(kernel_name, timing.kernel_ms, phase="count")
-
-        total = thrustlike.reduce_sum(device, result_buf, timeline,
-                                      phase="reduce")
-        if total != kres.triangles:
-            raise ReproError("device reduce disagrees with kernel counts "
-                             f"({total} vs {kres.triangles})")
-        timeline.add("d2h result",
-                     memory.d2h_ms(np.dtype(COUNT_DTYPE).itemsize),
-                     phase="reduce")
-        memory.free_all()
-    finally:
-        if sanitizer is not None:
-            memory.sanitizer = None
-
-    return GpuRunResult(triangles=total, device=device, options=options,
-                        timeline=timeline, kernel_report=engine.report,
-                        kernel_timing=timing,
-                        used_cpu_fallback=pre.used_cpu_fallback,
-                        num_forward_arcs=pre.num_forward_arcs,
-                        sanitizer_reports=(sanitizer.reports
-                                           if sanitizer is not None else []))
+    run = launch(LaunchPlan(kernel=spec_for_options(options), graph=graph,
+                            device=device, options=options, memory=memory))
+    return GpuRunResult(triangles=run.triangles, device=device,
+                        options=options, timeline=run.timeline,
+                        kernel_report=run.report, kernel_timing=run.timing,
+                        used_cpu_fallback=run.pre.used_cpu_fallback,
+                        num_forward_arcs=run.pre.num_forward_arcs,
+                        sanitizer_reports=run.sanitizer_reports)

@@ -56,14 +56,45 @@ class HybridResult:
         return TriangleCount(self.triangles)
 
 
+def gpu_hub_counter(device=None, options=None):
+    """A ``hub_counter`` backend that counts T_HHH on a simulated GPU.
+
+    The hybrid decomposition only requires *some* exact counter for the
+    induced hub subgraph; matmul (the paper's suggestion) is the
+    default, and this factory routes that leg through the unified
+    runtime instead — one :func:`repro.runtime.launch` of the merge
+    kernel per call, so the hub leg shares engine selection, sanitizer
+    wiring and hostprof phases with every other pipeline.
+    """
+    from repro.core.options import GpuOptions
+    from repro.gpusim.device import GTX_980
+    from repro.runtime import LaunchPlan, launch, spec_for_options
+
+    device = GTX_980 if device is None else device
+    options = GpuOptions() if options is None else options
+    spec = spec_for_options(options)
+
+    def counter(hub_graph: EdgeArray) -> int:
+        return launch(LaunchPlan(kernel=spec, graph=hub_graph,
+                                 device=device, options=options)).triangles
+
+    return counter
+
+
 def hybrid_count_triangles(graph: EdgeArray,
-                           hub_fraction: float = 0.01) -> HybridResult:
+                           hub_fraction: float = 0.01,
+                           hub_counter=None) -> HybridResult:
     """Exact count via matmul-on-hubs + hub-filtered forward merges.
 
     Parameters
     ----------
     hub_fraction : float
         Fraction of vertices (highest degree-order first) treated as hubs.
+    hub_counter : callable(EdgeArray) -> int, optional
+        Exact counter for the induced hub subgraph (T_HHH).  Defaults
+        to sparse matmul (the Alon–Yuster–Zwick ingredient the paper
+        names); :func:`gpu_hub_counter` counts that leg on a simulated
+        GPU through the unified runtime instead.
     """
     if not (0.0 <= hub_fraction <= 1.0):
         raise ReproError(f"hub_fraction must be in [0, 1], got {hub_fraction}")
@@ -87,7 +118,10 @@ def hybrid_count_triangles(graph: EdgeArray,
     both_hub = is_hub[graph.first] & is_hub[graph.second]
     hub_graph = EdgeArray(graph.first[both_hub], graph.second[both_hub],
                           num_nodes=n, check=False)
-    t_hhh = matmul_count(hub_graph).triangles
+    if hub_counter is None:
+        t_hhh = matmul_count(hub_graph).triangles
+    else:
+        t_hhh = int(hub_counter(hub_graph))
 
     # Forward structures: walk *all* forward arcs against adjacency lists
     # containing only non-hub (lower) entries.

@@ -16,17 +16,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.count_kernel import count_triangles_kernel
 from repro.core.options import GpuOptions
-from repro.core.preprocess import preprocess
 from repro.errors import ReproError
 from repro.graphs.edgearray import EdgeArray
-from repro.gpusim import thrustlike
 from repro.gpusim.device import DeviceSpec, GTX_980
 from repro.gpusim.memory import DeviceMemory
-from repro.gpusim.simt import SimtEngine
-from repro.gpusim.timing import Timeline, time_kernel
-from repro.types import COUNT_DTYPE
+from repro.runtime import LaunchPlan, launch
 
 
 @dataclass
@@ -50,44 +45,15 @@ def gpu_local_counts(graph: EdgeArray,
 
     Same pipeline as :func:`repro.core.forward_gpu.gpu_count_triangles`
     plus a ``num_nodes``-long accumulator the kernel atomically updates
-    on every match.
+    on every match — the ``"local"`` :class:`~repro.runtime.KernelSpec`
+    (the merge kernel regardless of ``options.kernel``; the
+    warp-intersect comparator has no ``atomicAdd`` path).
     """
-    if memory is None:
-        memory = DeviceMemory(device)
-    sanitizer = None
-    if options.sanitize != "off":
-        from repro.sanitize import Sanitizer
-
-        sanitizer = Sanitizer(mode=options.sanitize)
-        memory.sanitizer = sanitizer
-    timeline = Timeline()
-    try:
-        engine = SimtEngine(device, options.launch,
-                            use_ro_cache=options.use_readonly_cache,
-                            sanitizer=sanitizer)
-        result_buf = memory.alloc_empty("result", engine.num_threads,
-                                        COUNT_DTYPE)
-        per_vertex = memory.alloc("per_vertex",
-                                  np.zeros(max(graph.num_nodes, 1), np.int64))
-        pre = preprocess(graph, device, memory, timeline, options)
-
-        kres = count_triangles_kernel(engine, pre, options,
-                                      result_buf=result_buf,
-                                      per_vertex_buf=per_vertex)
-        timing = time_kernel(engine.report)
-        timeline.add("CountTriangles+local", timing.kernel_ms, phase="count")
-
-        total = thrustlike.reduce_sum(device, result_buf, timeline,
-                                      phase="reduce")
-        # d2h readback of the accumulator (host phase, not kernel code).
-        local = per_vertex.data[:graph.num_nodes].copy()  # san-ok: SAN101
-        timeline.add("d2h per-vertex counts", memory.d2h_ms(local.nbytes),
-                     phase="reduce")
-        memory.free_all()
-    finally:
-        if sanitizer is not None:
-            memory.sanitizer = None
-
+    run = launch(LaunchPlan(kernel="local", graph=graph, device=device,
+                            options=options, memory=memory))
+    total = run.triangles
+    local = run.per_vertex
+    assert local is not None
     if int(local.sum()) != 3 * total:
         raise ReproError(
             f"corner accumulation {int(local.sum())} != 3 × {total}")
@@ -105,6 +71,5 @@ def gpu_local_counts(graph: EdgeArray,
         local_clustering=coeff,
         average_clustering=float(coeff.mean()) if graph.num_nodes else 0.0,
         transitivity=(3.0 * total / total_wedges) if total_wedges else 0.0,
-        total_ms=timeline.total_ms,
-        sanitizer_reports=(sanitizer.reports
-                           if sanitizer is not None else []))
+        total_ms=run.timeline.total_ms,
+        sanitizer_reports=run.sanitizer_reports)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.count_kernel import count_triangles_kernel
 from repro.core.forward_gpu import GpuRunResult
 from repro.core.options import GpuOptions
 from repro.core.preprocess import PreprocessResult, preprocess
@@ -22,8 +21,8 @@ from repro.graphs.edgearray import EdgeArray
 from repro.gpusim import thrustlike
 from repro.gpusim.device import DeviceSpec, TESLA_C2050
 from repro.gpusim.multigpu import MultiGpuContext
-from repro.gpusim.simt import SimtEngine
-from repro.gpusim.timing import Timeline, time_kernel
+from repro.runtime import (LaunchPlan, StreamTimeline, launch,
+                           spec_for_options)
 from repro.types import COUNT_DTYPE
 
 
@@ -44,10 +43,14 @@ def multi_gpu_count_triangles(graph: EdgeArray,
     elif context.count != num_gpus or context.device.name != device.name:
         raise ReproError("context does not match device/num_gpus")
 
-    timeline = Timeline()
+    timeline = StreamTimeline()
     pre = preprocess(graph, device, context.primary, timeline, options)
 
-    # Broadcast the preprocessed structures (device 0 already holds them).
+    # Broadcast the preprocessed structures (device 0 already holds
+    # them).  Each destination card has its own PCIe lane in the model,
+    # so the context places device d's copies on stream 1+d — reported
+    # totals stay the paper's serial protocol, and the stream schedule
+    # (timeline.overlap_savings_ms) says what concurrent copies buy.
     if pre.aos is None:
         adj_all = context.broadcast(pre.adj, timeline)
         keys_all = context.broadcast(pre.keys, timeline)
@@ -56,8 +59,10 @@ def multi_gpu_count_triangles(graph: EdgeArray,
         aos_all = context.broadcast(pre.aos, timeline)
         adj_all = keys_all = [None] * num_gpus
     node_all = context.broadcast(pre.node, timeline)
+    timeline.barrier()   # kernels wait for their card's copies
 
     ranges = context.partition_ranges(pre.num_forward_arcs)
+    spec = spec_for_options(options)
     triangles = 0
     per_device = []
     count_ms = 0.0
@@ -69,26 +74,27 @@ def multi_gpu_count_triangles(graph: EdgeArray,
                                  num_nodes=pre.num_nodes,
                                  num_forward_arcs=pre.num_forward_arcs,
                                  used_cpu_fallback=pre.used_cpu_fallback)
-        engine = SimtEngine(device, options.launch,
-                            use_ro_cache=options.use_readonly_cache)
-        result_buf = context.memories[d].alloc_empty(
-            f"result@dev{d}", engine.num_threads, COUNT_DTYPE)
-        kres = count_triangles_kernel(engine, pre_d, options, lo=lo, hi=hi,
-                                      result_buf=result_buf)
-        timing = time_kernel(engine.report)
-        partial = thrustlike.reduce_sum(device, result_buf, None)
-        if partial != kres.triangles:
-            raise ReproError(f"device {d} reduce mismatch")
-        triangles += partial
-        per_device.append((engine.report, timing))
-        if timing.kernel_ms >= count_ms:
-            count_ms = timing.kernel_ms
-            slowest = (engine.report, timing)
+        # Per-slice launch: this driver owns the aggregated timeline
+        # events (max-over-devices count, overlapped reduces) and the
+        # context owns teardown, so the per-launch pieces are off.
+        run = launch(LaunchPlan(kernel=spec, device=device, options=options,
+                                memory=context.memories[d],
+                                preprocessed=pre_d, lo=lo, hi=hi,
+                                result_name=f"result@dev{d}",
+                                attach_sanitizer=False,
+                                record_kernel_event=False,
+                                reduce_timeline=False, d2h_events=False,
+                                free_all=False))
+        triangles += run.triangles
+        per_device.append((run.report, run.timing))
+        if run.timing.kernel_ms >= count_ms:
+            count_ms = run.timing.kernel_ms
+            slowest = (run.report, run.timing)
 
     # Devices count concurrently: the phase costs the slowest kernel,
     # then each device reduces its own result array (overlapped too) and
     # ships 8 bytes back.
-    timeline.add(f"CountTriangles × {num_gpus} (max over devices)",
+    timeline.add(f"{spec.display_name} × {num_gpus} (max over devices)",
                  count_ms, phase="count")
     result_bytes = per_device[0][0].launch.total_threads(device) * \
         np.dtype(COUNT_DTYPE).itemsize

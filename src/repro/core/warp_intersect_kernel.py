@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.options import GpuOptions
+from repro.core.options import ENGINES, GpuOptions
 from repro.core.preprocess import PreprocessResult
 from repro.errors import ReproError
 from repro.gpusim.memory import DeviceBuffer
@@ -78,7 +78,13 @@ def warp_intersect_kernel(engine: SimtEngine,
     if not (0 <= lo <= hi <= m):
         raise ReproError(f"arc range [{lo}, {hi}) outside [0, {m})")
 
-    compacted = (options or GpuOptions()).engine == "compacted"
+    engine_name = (options or GpuOptions()).engine
+    if engine_name not in ENGINES:
+        # Never a silent fallback: duck-typed options with a bad engine
+        # string get the same typed error GpuOptions raises eagerly.
+        raise ReproError(
+            f"engine must be one of {ENGINES}, got {engine_name!r}")
+    compacted = engine_name == "compacted"
     read = engine.read_compacted if compacted else engine.read
 
     T = engine.num_threads

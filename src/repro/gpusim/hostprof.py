@@ -3,10 +3,16 @@
 The simulated timing model answers "how long would the *GPU* take";
 this module answers "where does the *simulator's host CPU time* go" —
 the quantity the perf PRs optimize.  A :class:`HostProfiler` accumulates
-per-phase wall-clock:
+per-phase wall-clock in the unified vocabulary every pipeline shares
+(the launches all go through :func:`repro.runtime.launch`):
 
+* ``h2d`` / ``kernel`` / ``d2h`` / ``free`` — the top-level lifecycle
+  phases of a kernel launch: building + copying the device-resident
+  structures, the kernel body, the reduce + result readback, and the
+  teardown sweep.  These are the comparable numbers — ``==SERVE==``
+  sheets and bench phase totals mean the same thing for every kernel;
 * ``setup`` / ``merge`` (and the warp-intersect kernel's ``chunk``) —
-  the kernel tick sections, inclusive of the engine calls they make;
+  the kernel tick sections, subsets of ``kernel``;
 * ``cache-model`` — :meth:`SimtEngine.read`/``write``/``atomic_add``
   (address math, coalescing, cache probes), a subset of the above;
 * ``accounting`` — :meth:`SimtEngine.end_step` bookkeeping, also a
@@ -62,7 +68,7 @@ class HostProfiler:
 
     @property
     def total_seconds(self) -> float:
-        """Kernel-section seconds (excludes the overlapping subsets)."""
+        """Top-level phase seconds (excludes the overlapping subsets)."""
         return sum(p.seconds for n, p in self.phases.items()
                    if n not in _SUBSET_PHASES)
 
@@ -72,9 +78,12 @@ class HostProfiler:
                 for name, phase in sorted(self.phases.items())}
 
 
-#: Phases measured *inside* the kernel-section phases (double counted by
-#: a naive sum, hence excluded from :attr:`HostProfiler.total_seconds`).
-_SUBSET_PHASES = frozenset({"cache-model", "accounting"})
+#: Phases measured *inside* another phase (double counted by a naive
+#: sum, hence excluded from :attr:`HostProfiler.total_seconds`): the
+#: kernel tick sections nest inside the runtime's ``kernel`` phase, and
+#: the engine subsets nest inside the tick sections.
+_SUBSET_PHASES = frozenset({"setup", "merge", "chunk",
+                            "cache-model", "accounting"})
 
 _installed: HostProfiler | None = None
 
@@ -114,6 +123,6 @@ def format_host_profile(profiler: HostProfiler,
         note = "  (subset)" if name in _SUBSET_PHASES else ""
         lines.append(f"  {name:<38} {phase.seconds * 1e3:>10.1f} ms "
                      f"{share}  {phase.calls:>9,} calls{note}")
-    lines.append(f"  {'total (kernel sections)':<38} "
+    lines.append(f"  {'total (top-level phases)':<38} "
                  f"{total * 1e3:>10.1f} ms")
     return "\n".join(lines) + "\n"

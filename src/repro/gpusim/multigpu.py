@@ -49,12 +49,22 @@ class MultiGpuContext:
         Transfers are host-mediated (device → host → each device), the
         conservative path the paper's simple scheme implies; both hops
         ride the PCIe link, serialized per destination.
+
+        When ``timeline`` keeps a stream schedule (duck-typed on
+        ``add_on`` — :class:`repro.runtime.StreamTimeline`), device
+        ``i``'s copy is stamped on stream ``i``: each destination has
+        its own PCIe lane in the model, so the copies may overlap there
+        while the reported serial totals stay unchanged.
         """
         out = [buf]
         per_copy_ms = 2.0 * buf.nbytes / (self.device.pcie_gbs * 1e9) * 1e3
+        add_on = getattr(timeline, "add_on", None)
         for i, mem in enumerate(self.memories[1:], start=1):
             out.append(mem.alloc(f"{buf.name}@dev{i}", buf.data))
-            if timeline is not None:
+            if add_on is not None:
+                add_on(f"broadcast {buf.name} -> dev{i}", per_copy_ms,
+                       phase="copy", stream=i)
+            elif timeline is not None:
                 timeline.add(f"broadcast {buf.name} -> dev{i}", per_copy_ms,
                              phase="copy")
         return out

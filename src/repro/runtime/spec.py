@@ -1,0 +1,187 @@
+"""``KernelSpec`` — the declarative contract every counting kernel meets.
+
+A kernel, to the runtime, is: a registry name, a display label for the
+simulated timeline, one host *body* per execution engine, and two
+buffer-shape facts (does it need the SoA layout, does it accumulate a
+per-vertex array).  Everything else — device allocation, H2D/D2H
+transfer events, engine construction, sanitizer wiring, hostprof
+phases, report/timeline assembly — is owned by
+:func:`repro.runtime.launch` and written exactly once.
+
+Kernel authors add a strategy by writing the body (a function of
+``(engine, pre, options, *, lo, hi, result_buf, per_vertex_buf)``) and
+registering a spec; every pipeline (single-GPU, local-counts,
+multi-GPU, serving, the wall-clock bench) can then launch it with no
+new harness code.  See ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Protocol
+
+import numpy as np
+
+from repro.core.options import GpuOptions
+from repro.core.preprocess import PreprocessResult
+from repro.errors import ReproError
+from repro.gpusim.memory import DeviceBuffer
+from repro.gpusim.simt import SimtEngine
+
+
+class KernelResult(Protocol):
+    """What every kernel body returns (duck-typed; the concrete classes
+    are :class:`~repro.core.count_kernel.CountKernelResult` and
+    :class:`~repro.core.warp_intersect_kernel.WarpIntersectResult`)."""
+
+    thread_counts: np.ndarray
+    triangles: int
+    ticks: int
+
+
+#: A host execution body: runs the kernel over arcs ``[lo, hi)`` on an
+#: already-constructed engine against already-resident structures.
+KernelBody = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declarative description of one counting kernel.
+
+    Attributes
+    ----------
+    name : str
+        Registry key (``repro-bench wallclock --kernel <name>``).
+    display_name : str
+        Timeline event label of the launch (e.g. ``"CountTriangles"``).
+    bodies : mapping engine-name -> body
+        One host execution body per :data:`repro.core.options.ENGINES`
+        entry it supports; all bodies of a spec are bit-identical in
+        results and :class:`~repro.gpusim.simt.KernelReport` counters.
+    requires_soa : bool
+        The body assumes unzipped (SoA) columns; launching against an
+        AoS layout is a typed error instead of wrong counters.
+    per_vertex : bool
+        The body accumulates per-vertex corner counts; ``launch()``
+        allocates the ``num_nodes``-long accumulator before
+        preprocessing and reads it back after the reduce.
+    """
+
+    name: str
+    display_name: str
+    bodies: Mapping[str, KernelBody] = field(repr=False)
+    requires_soa: bool = False
+    per_vertex: bool = False
+
+    def body_for(self, engine: str) -> KernelBody:
+        """The host body for ``engine``, or a typed error naming the
+        valid choices — never a silent fallback."""
+        body = self.bodies.get(engine)
+        if body is None:
+            raise ReproError(
+                f"kernel {self.name!r} has no body for engine "
+                f"{engine!r}; valid engines: {tuple(sorted(self.bodies))}")
+        return body
+
+
+_REGISTRY: dict[str, KernelSpec] = {}
+
+
+def register(spec: KernelSpec) -> KernelSpec:
+    """Add ``spec`` to the registry (idempotent for the same object)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ReproError(f"kernel {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Registered kernel names, sorted (CLI choices)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a registered spec, naming the valid choices on a miss."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ReproError(
+            f"unknown kernel {name!r}; registered: {kernel_names()}")
+    return spec
+
+
+def resolve_kernel(kernel: KernelSpec | str) -> KernelSpec:
+    """Accept either a spec object or a registry name."""
+    if isinstance(kernel, KernelSpec):
+        return kernel
+    return get_kernel(kernel)
+
+
+def spec_for_options(options: GpuOptions, per_vertex: bool = False) -> KernelSpec:
+    """Map ``GpuOptions.kernel`` to its registered spec.
+
+    ``per_vertex=True`` selects the local-counts variant (the merge
+    kernel with the ``atomicAdd``-per-corner extension); the
+    warp-intersect kernel has no such path.
+    """
+    if per_vertex:
+        return get_kernel("local")
+    if options.kernel == "warp_intersect":
+        return get_kernel("warp_intersect")
+    return get_kernel("merge")
+
+
+def _merge_lockstep(engine: SimtEngine, pre: PreprocessResult,
+                    options: GpuOptions, *, lo: int = 0, hi: int | None = None,
+                    result_buf: DeviceBuffer | None = None,
+                    per_vertex_buf: DeviceBuffer | None = None) -> KernelResult:
+    from repro.core.count_kernel import count_triangles_lockstep
+
+    return count_triangles_lockstep(engine, pre, options, lo=lo, hi=hi,
+                                    result_buf=result_buf,
+                                    per_vertex_buf=per_vertex_buf)
+
+
+def _merge_compacted(engine: SimtEngine, pre: PreprocessResult,
+                     options: GpuOptions, *, lo: int = 0, hi: int | None = None,
+                     result_buf: DeviceBuffer | None = None,
+                     per_vertex_buf: DeviceBuffer | None = None) -> KernelResult:
+    from repro.core.count_kernel_compacted import count_triangles_compacted
+
+    return count_triangles_compacted(engine, pre, options, lo=lo, hi=hi,
+                                     result_buf=result_buf,
+                                     per_vertex_buf=per_vertex_buf)
+
+
+def _warp_intersect(engine: SimtEngine, pre: PreprocessResult,
+                    options: GpuOptions, *, lo: int = 0, hi: int | None = None,
+                    result_buf: DeviceBuffer | None = None,
+                    per_vertex_buf: DeviceBuffer | None = None) -> KernelResult:
+    from repro.core.warp_intersect_kernel import warp_intersect_kernel
+
+    if per_vertex_buf is not None:
+        raise ReproError("the warp_intersect kernel has no per-vertex "
+                         "accumulation path; use kernel 'local'")
+    # The body branches on ``options.engine`` internally (its chunk
+    # gathers need the per-warp lane counts either way).
+    return warp_intersect_kernel(engine, pre, lo=lo, hi=hi,
+                                 result_buf=result_buf, options=options)
+
+
+#: The paper's thread-per-edge two-pointer merge (Section III-C).
+MERGE = register(KernelSpec(
+    name="merge", display_name="CountTriangles",
+    bodies={"lockstep": _merge_lockstep, "compacted": _merge_compacted}))
+
+#: The Green et al. warp-per-edge comparator (Section V).
+WARP_INTERSECT = register(KernelSpec(
+    name="warp_intersect", display_name="WarpIntersect",
+    bodies={"lockstep": _warp_intersect, "compacted": _warp_intersect},
+    requires_soa=True))
+
+#: The merge kernel with one ``atomicAdd`` per triangle corner — exact
+#: local counts for the clustering-coefficient application.
+LOCAL = register(KernelSpec(
+    name="local", display_name="CountTriangles+local",
+    bodies={"lockstep": _merge_lockstep, "compacted": _merge_compacted},
+    per_vertex=True))

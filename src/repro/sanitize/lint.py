@@ -31,6 +31,16 @@ SAN103
     spellings are ``np.random.default_rng`` / ``Generator`` /
     ``SeedSequence`` / ``BitGenerator``.
 
+SAN104
+    Direct ``SimtEngine(...)`` construction outside ``repro/gpusim``
+    (the model itself) and ``repro/runtime`` (the one sanctioned
+    owner).  Pipelines that build engines by hand bypass the unified
+    launch lifecycle — sanitizer attachment, ``GpuOptions`` plumbing
+    (``use_readonly_cache``), hostprof phases — and drift from the
+    dispatch contract.  Use :func:`repro.runtime.launch` for the full
+    lifecycle or :func:`repro.runtime.build_engine` when a harness
+    times the kernel body itself.
+
 Suppressions
 ------------
 ``# san-ok: SAN101`` on the flagged line waives that rule there;
@@ -55,6 +65,7 @@ RULES = {
     "SAN101": "DeviceBuffer payload (.data) accessed outside repro.gpusim",
     "SAN102": "engine read without end_step/end_step_warps in its scope",
     "SAN103": "legacy np.random API outside repro.graphs.generators",
+    "SAN104": "direct SimtEngine construction outside repro.gpusim/runtime",
 }
 
 _ALLOC_METHODS = {"alloc", "alloc_empty", "try_alloc"}
@@ -263,6 +274,24 @@ def _check_san102(path: str, nodes: list[ast.AST]) -> list[LintFinding]:
         "end_step_warps — this traffic is invisible to the timing model")]
 
 
+def _check_san104(path: str, tree: ast.Module) -> list[LintFinding]:
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        if name != "SimtEngine":
+            continue
+        out.append(LintFinding(
+            path, node.lineno, node.col_offset, "SAN104",
+            "direct SimtEngine construction bypasses the unified runtime; "
+            "use repro.runtime.launch (full lifecycle) or "
+            "repro.runtime.build_engine (harness timing)"))
+    return out
+
+
 def _check_san103(path: str, tree: ast.Module) -> list[LintFinding]:
     out = []
     for node in ast.walk(tree):
@@ -297,6 +326,7 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
     parts = Path(path).parts
     skip_san101 = "gpusim" in parts or "sanitize" in parts
     skip_san103 = "generators" in parts
+    skip_san104 = "gpusim" in parts or "runtime" in parts
 
     findings: list[LintFinding] = []
     scopes: list[ast.AST | list[ast.AST]] = [_module_scope_roots(tree)]
@@ -308,6 +338,8 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
         findings += _check_san102(path, nodes)
     if not skip_san103:
         findings += _check_san103(path, tree)
+    if not skip_san104:
+        findings += _check_san104(path, tree)
 
     findings = [f for f in findings
                 if f.rule not in module_allow
@@ -335,7 +367,7 @@ def lint_paths(paths: list[str]) -> list[LintFinding]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Static simulator-invariant checks (SAN101-SAN103).")
+        description="Static simulator-invariant checks (SAN101-SAN104).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--list-rules", action="store_true",

@@ -98,9 +98,12 @@ class FleetScheduler:
         """Replay ``jobs`` (an arrival-stamped trace) to completion.
 
         The whole replay runs under an ambient
-        :class:`~repro.gpusim.hostprof.HostProfiler`, so every engine it
-        constructs attributes its host wall-clock (setup / merge /
-        cache-model / accounting) to the report's ``host_profiler`` —
+        :class:`~repro.gpusim.hostprof.HostProfiler`, so every launch
+        (jobs run through :func:`repro.runtime.launch` via
+        ``gpu_count_triangles``) attributes its host wall-clock in the
+        unified phase vocabulary — ``h2d`` / ``kernel`` / ``d2h`` /
+        ``free``, plus the kernel-section subsets (setup / merge /
+        cache-model / accounting) — to the report's ``host_profiler``;
         the ``==SERVE==`` sheet prints the breakdown.
         """
         profiler = HostProfiler()

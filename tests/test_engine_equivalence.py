@@ -12,6 +12,9 @@ arc ranges) and with hypothesis-generated graphs and launches.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -20,12 +23,18 @@ from repro.core.count_kernel import count_triangles_kernel
 from repro.core.options import GpuOptions
 from repro.core.preprocess import preprocess
 from repro.core.warp_intersect_kernel import warp_intersect_kernel
+from repro.errors import ReproError
 from repro.graphs.edgearray import EdgeArray
 from repro.graphs.generators import barabasi_albert, rmat
 from repro.gpusim.device import GTX_980, NVS_5200M
 from repro.gpusim.memory import DeviceMemory
 from repro.gpusim.simt import LaunchConfig, SimtEngine
 from repro.gpusim.timing import Timeline
+from repro.runtime import LaunchPlan, launch
+
+#: Committed counters for the dispatcher matrix (regenerate by running
+#: the loop in TestDispatcherGolden._cell over a fresh checkout).
+GOLDEN_PATH = Path(__file__).parent / "golden_runtime_counters.json"
 
 
 def _run_both(graph, options_of, device=GTX_980, per_vertex=False,
@@ -114,6 +123,59 @@ class TestOptionMatrix:
         _assert_identical(small_rmat,
                           lambda e: GpuOptions(engine=e),
                           kernel="warp_intersect")
+
+
+class TestDispatcherGolden:
+    """The runtime dispatcher (`repro.runtime.launch`) pinned to
+    committed golden counters: warp-intersect and local-counts, both
+    engines x both layouts, on the deterministic ``small_rmat`` graph.
+
+    A golden mismatch means the launch lifecycle changed what the
+    simulated GPU observes (allocation order, read routing, engine
+    selection) — the exact regression class the refactor must not
+    introduce silently.
+    """
+
+    @staticmethod
+    def _cell(graph, kernel: str, unzip: bool, engine: str) -> dict:
+        opts = GpuOptions(
+            engine=engine, unzip=unzip,
+            kernel="warp_intersect" if kernel == "warp_intersect"
+            else "two_pointer")
+        run = launch(LaunchPlan(kernel=kernel, graph=graph,
+                                device=GTX_980, options=opts))
+        cell = {
+            "triangles": run.triangles,
+            "counters": json.loads(json.dumps(run.report.counters(),
+                                              default=list)),
+        }
+        if run.per_vertex is not None:
+            cell["per_vertex_sum"] = int(run.per_vertex.sum())
+        return cell
+
+    @pytest.mark.parametrize("engine", ["lockstep", "compacted"])
+    @pytest.mark.parametrize("kernel,layout", [
+        ("warp_intersect", "soa"),
+        ("local", "soa"),
+        ("local", "aos"),
+    ])
+    def test_pinned_counters(self, small_rmat, kernel, layout, engine):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        key = f"{kernel}/{layout}/{engine}"
+        cell = self._cell(small_rmat, kernel, layout == "soa", engine)
+        assert cell == golden[key], key
+
+    def test_local_counts_sum_rule(self, small_rmat):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for layout in ("soa", "aos"):
+            cell = golden[f"local/{layout}/compacted"]
+            assert cell["per_vertex_sum"] == 3 * cell["triangles"]
+
+    def test_warp_intersect_rejects_aos(self, small_rmat):
+        opts = GpuOptions(engine="compacted", unzip=False)
+        with pytest.raises(ReproError, match="SoA"):
+            launch(LaunchPlan(kernel="warp_intersect", graph=small_rmat,
+                              device=GTX_980, options=opts))
 
 
 class TestHypothesis:

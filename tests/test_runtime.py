@@ -1,0 +1,256 @@
+"""The unified kernel runtime: registry, dispatch, launch lifecycle,
+stream timeline and the hostprof phase vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.count_kernel import count_triangles_kernel
+from repro.core.forward_gpu import gpu_count_triangles
+from repro.core.hybrid import gpu_hub_counter, hybrid_count_triangles
+from repro.core.multi_gpu import multi_gpu_count_triangles
+from repro.core.options import GpuOptions
+from repro.core.partitioned import (gpu_subgraph_counter,
+                                    partitioned_count_triangles)
+from repro.core.preprocess import preprocess
+from repro.core.warp_intersect_kernel import warp_intersect_kernel
+from repro.cpu.forward import forward_count_cpu
+from repro.errors import ReproError
+from repro.gpusim.device import GTX_980, NVS_5200M, TESLA_C2050
+from repro.gpusim.hostprof import HostProfiler, host_profiling
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.timing import Timeline
+from repro.runtime import (KernelSpec, LaunchPlan, StreamTimeline,
+                           build_engine, dispatch_kernel, get_kernel,
+                           kernel_names, launch, resolve_kernel,
+                           spec_for_options)
+from repro.runtime.spec import register
+from repro.sanitize.lint import lint_source
+
+
+class _FakeOptions:
+    """Duck-typed options with a bad engine string (the silent-fallback
+    regression: pre-refactor call sites fell back to lockstep)."""
+
+    def __init__(self, engine="cuda"):
+        self.engine = engine
+        self.merge_variant = "final"
+        self.launch = GpuOptions().launch
+        self.use_readonly_cache = True
+
+
+class TestRegistry:
+    def test_builtin_kernels_registered(self):
+        assert kernel_names() == ("local", "merge", "warp_intersect")
+
+    def test_get_kernel_unknown_names_choices(self):
+        with pytest.raises(ReproError, match="registered.*merge"):
+            get_kernel("bitonic")
+
+    def test_resolve_kernel_passthrough(self):
+        spec = get_kernel("merge")
+        assert resolve_kernel(spec) is spec
+        assert resolve_kernel("merge") is spec
+
+    def test_register_rejects_duplicate_name(self):
+        clone = KernelSpec(name="merge", display_name="X", bodies={})
+        with pytest.raises(ReproError, match="already registered"):
+            register(clone)
+
+    def test_spec_for_options(self):
+        assert spec_for_options(GpuOptions()).name == "merge"
+        assert spec_for_options(
+            GpuOptions(kernel="warp_intersect")).name == "warp_intersect"
+        assert spec_for_options(GpuOptions(), per_vertex=True).name == "local"
+
+    def test_body_for_unknown_engine_names_choices(self):
+        with pytest.raises(ReproError, match="valid engines"):
+            get_kernel("merge").body_for("cuda")
+
+
+class TestEagerValidation:
+    """The satellite bugfix: bad engine/kernel/sanitize strings are
+    typed errors naming the valid choices — never a silent fallback."""
+
+    @pytest.mark.parametrize("field,value", [
+        ("engine", "cuda"), ("kernel", "bitonic"), ("sanitize", "loud")])
+    def test_gpu_options_rejects_bad_strings(self, field, value):
+        with pytest.raises(ReproError, match="must be one of"):
+            GpuOptions(**{field: value})
+
+    def test_count_kernel_rejects_ducktyped_bad_engine(self, small_rmat):
+        opts = GpuOptions()
+        memory = DeviceMemory(GTX_980)
+        pre = preprocess(small_rmat, GTX_980, memory, Timeline(), opts)
+        engine = build_engine(GTX_980, opts)
+        with pytest.raises(ReproError, match="engine must be one of"):
+            count_triangles_kernel(engine, pre, _FakeOptions())
+
+    def test_warp_intersect_rejects_ducktyped_bad_engine(self, small_rmat):
+        opts = GpuOptions()
+        memory = DeviceMemory(GTX_980)
+        pre = preprocess(small_rmat, GTX_980, memory, Timeline(), opts)
+        engine = build_engine(GTX_980, opts)
+        with pytest.raises(ReproError, match="engine must be one of"):
+            warp_intersect_kernel(engine, pre, options=_FakeOptions())
+
+    def test_dispatch_rejects_ducktyped_bad_engine(self, small_rmat):
+        opts = GpuOptions()
+        memory = DeviceMemory(GTX_980)
+        pre = preprocess(small_rmat, GTX_980, memory, Timeline(), opts)
+        engine = build_engine(GTX_980, opts)
+        with pytest.raises(ReproError, match="valid engines"):
+            dispatch_kernel("merge", engine, pre, _FakeOptions())
+
+    def test_launch_validates_engine_before_any_allocation(self, small_rmat):
+        memory = DeviceMemory(GTX_980)
+        with pytest.raises(ReproError, match="valid engines"):
+            launch(LaunchPlan(kernel="merge", graph=small_rmat,
+                              options=_FakeOptions(), memory=memory))
+        assert memory.total_allocated_bytes == 0
+
+
+class TestLaunch:
+    def test_matches_cpu_reference(self, small_rmat):
+        want = forward_count_cpu(small_rmat).triangles
+        run = launch(LaunchPlan(kernel="merge", graph=small_rmat))
+        assert run.triangles == want
+        assert run.report.counters()
+
+    def test_matches_forward_gpu_pipeline(self, small_rmat):
+        run = launch(LaunchPlan(kernel="merge", graph=small_rmat))
+        via_pipeline = gpu_count_triangles(small_rmat)
+        assert run.triangles == via_pipeline.triangles
+        assert (run.report.counters()
+                == via_pipeline.kernel_report.counters())
+
+    def test_needs_graph_or_preprocessed(self):
+        with pytest.raises(ReproError, match="graph or a preprocessed"):
+            launch(LaunchPlan(kernel="merge"))
+
+    def test_memory_device_mismatch(self, small_rmat):
+        with pytest.raises(ReproError, match="memory belongs to"):
+            launch(LaunchPlan(kernel="merge", graph=small_rmat,
+                              device=GTX_980,
+                              memory=DeviceMemory(NVS_5200M)))
+
+    def test_per_vertex_readback(self, small_rmat):
+        run = launch(LaunchPlan(kernel="local", graph=small_rmat))
+        assert run.per_vertex is not None
+        assert len(run.per_vertex) == small_rmat.num_nodes
+        assert int(run.per_vertex.sum()) == 3 * run.triangles
+
+    def test_default_timeline_is_streamed(self, small_rmat):
+        run = launch(LaunchPlan(kernel="merge", graph=small_rmat))
+        assert isinstance(run.timeline, StreamTimeline)
+        # Single-stream run: serial protocol == stream schedule.
+        assert run.timeline.overlap_savings_ms == pytest.approx(0.0)
+
+    def test_hostprof_unified_phases(self, small_rmat):
+        profiler = HostProfiler()
+        with host_profiling(profiler):
+            launch(LaunchPlan(kernel="merge", graph=small_rmat))
+        for phase in ("h2d", "kernel", "d2h", "free"):
+            assert phase in profiler.phases, phase
+        # Kernel tick sections are recorded but nest inside "kernel":
+        # the top-level total must not double-count them.
+        assert "merge" in profiler.phases
+        top = sum(profiler.phases[p].seconds
+                  for p in ("h2d", "kernel", "d2h", "free"))
+        assert profiler.total_seconds == pytest.approx(top)
+
+    def test_sanitizer_attached_when_requested(self, small_rmat):
+        run = launch(LaunchPlan(kernel="merge", graph=small_rmat,
+                                options=GpuOptions(sanitize="report")))
+        assert run.sanitizer is not None
+        assert run.sanitizer_reports == []   # clean kernel
+        off = launch(LaunchPlan(kernel="merge", graph=small_rmat))
+        assert off.sanitizer is None
+
+
+class TestStreamTimeline:
+    def test_serial_totals_unchanged_by_streams(self):
+        tl = StreamTimeline()
+        tl.add("a", 2.0, phase="preprocess")
+        tl.add_on("b", 3.0, phase="copy", stream=1)
+        tl.add_on("c", 4.0, phase="copy", stream=2)
+        assert tl.total_ms == pytest.approx(9.0)       # paper's protocol
+        assert tl.makespan_ms == pytest.approx(6.0)    # 2 + max(3, 4)
+        assert tl.overlap_savings_ms == pytest.approx(3.0)
+
+    def test_fork_point_and_barrier(self):
+        tl = StreamTimeline()
+        tl.add("host", 5.0)
+        tl.add_on("copy", 1.0, stream=1)    # forks at t=5
+        events = {e.name: e for e in tl.stream_events}
+        assert events["copy"].start_ms == pytest.approx(5.0)
+        tl.barrier()
+        tl.add("after", 1.0)
+        assert events["copy"].end_ms == pytest.approx(6.0)
+        after = [e for e in tl.stream_events if e.name == "after"][0]
+        assert after.start_ms == pytest.approx(tl.makespan_ms - 1.0)
+
+    def test_pipelined_ms(self):
+        tl = StreamTimeline()
+        tl.add("prep", 4.0, phase="preprocess")
+        tl.add("h2d", 3.0, phase="copy")
+        tl.add("kernel", 2.0, phase="count")
+        # Double-buffered: prep/copy cost max(4,3) instead of 7.
+        assert tl.pipelined_ms() == pytest.approx(6.0)
+
+    def test_multi_gpu_broadcast_overlaps(self, small_rmat):
+        run3 = multi_gpu_count_triangles(small_rmat, device=TESLA_C2050,
+                                         num_gpus=3)
+        tl = run3.timeline
+        assert isinstance(tl, StreamTimeline)
+        streams = {e.stream for e in tl.stream_events}
+        assert len(streams & {1, 2}) == 2   # per-destination copy streams
+        # Concurrent per-card copies beat the serial protocol.
+        assert tl.overlap_savings_ms > 0.0
+        assert tl.makespan_ms < tl.total_ms
+        want = forward_count_cpu(small_rmat).triangles
+        assert run3.triangles == want
+
+
+class TestGpuBackends:
+    def test_hybrid_hub_counter_matches_matmul(self, small_rmat):
+        default = hybrid_count_triangles(small_rmat, hub_fraction=0.1)
+        via_gpu = hybrid_count_triangles(small_rmat, hub_fraction=0.1,
+                                         hub_counter=gpu_hub_counter())
+        assert via_gpu.triangles == default.triangles
+        assert via_gpu.hub_triangles == default.hub_triangles
+
+    def test_partitioned_gpu_counter(self, small_ba):
+        want = forward_count_cpu(small_ba).triangles
+        res = partitioned_count_triangles(small_ba, num_parts=2,
+                                          counter=gpu_subgraph_counter())
+        assert res.triangles == want
+
+
+class TestSan104:
+    def test_flags_direct_construction(self):
+        src = ("from repro.gpusim.simt import SimtEngine\n"
+               "e = SimtEngine(dev, launch)\n")
+        findings = lint_source(src, "src/repro/core/rogue.py")
+        assert [f.rule for f in findings] == ["SAN104"]
+        assert "repro.runtime" in findings[0].message
+
+    @pytest.mark.parametrize("path", [
+        "src/repro/gpusim/simt.py", "src/repro/runtime/launch.py"])
+    def test_exempt_packages(self, path):
+        findings = lint_source("e = SimtEngine(dev, launch)\n", path)
+        assert findings == []
+
+    def test_suppression_comment(self):
+        src = "e = SimtEngine(dev, launch)  # san-ok: SAN104\n"
+        assert lint_source(src, "src/repro/core/rogue.py") == []
+
+    def test_tree_is_clean(self):
+        from pathlib import Path
+
+        from repro.sanitize.lint import lint_paths
+        src_root = Path(__file__).parent.parent / "src"
+        findings = [f for f in lint_paths([str(src_root)])
+                    if f.rule == "SAN104"]
+        assert findings == []

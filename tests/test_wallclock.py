@@ -37,6 +37,20 @@ class TestRunRow:
         with pytest.raises(ReproError):
             run_row("nope", None, repeats=1, launch=TINY)
 
+    def test_unknown_kernel(self):
+        with pytest.raises(ReproError, match="registered"):
+            run_row("kron16", 0.015625, kernel="bitonic", repeats=1,
+                    launch=TINY)
+
+    @pytest.mark.parametrize("kernel", ["warp_intersect", "local"])
+    def test_kernel_matrix_rows(self, kernel):
+        row = run_row("kron16", 0.015625, kernel=kernel, repeats=1,
+                      launch=TINY)
+        assert row.identical
+        assert row.kernel == kernel
+        assert row.to_json()["kernel"] == kernel
+        assert kernel in row.summary()
+
     def test_default_rows_are_skewed_heavy(self):
         names = [name for name, _ in DEFAULT_ROWS]
         assert "ba" in names          # Barabasi-Albert rows
@@ -59,6 +73,28 @@ class TestReport:
             row["lockstep_s"] / row["compacted_s"], rel=0.01)
         assert "host_profile" in row
 
+    def test_kernel_matrix_report(self):
+        report = run_wallclock((("kron16", 0.015625),),
+                               kernels=("merge", "local"), repeats=1,
+                               launch=TINY)
+        assert [r.kernel for r in report.rows] == ["merge", "local"]
+
+    def test_baseline_matching_defaults_kernel_to_merge(self):
+        from repro.bench.wallclock import baseline_problems
+        report = run_wallclock((("kron16", 0.015625),), repeats=1,
+                               launch=TINY)
+        doc = json.loads(report.json_str())
+        # A pre-matrix baseline file has no "kernel" key on its rows;
+        # such rows must still match the merge rows of a fresh report.
+        for row in doc["rows"]:
+            del row["kernel"]
+        assert baseline_problems(report, doc) == []
+        # ... and a non-merge row must not match a legacy baseline row.
+        local = run_wallclock((("kron16", 0.015625),), kernels=("local",),
+                              repeats=1, launch=TINY)
+        problems = baseline_problems(local, doc)
+        assert problems and "no matching baseline row" in problems[0]
+
     def test_format_report(self):
         report = run_wallclock((("kron16", 0.015625),), repeats=1,
                                launch=TINY)
@@ -76,6 +112,14 @@ class TestCli:
         blob = json.loads(out.read_text())
         assert blob["rows"][0]["workload"] == "kron18"
         assert "wall-clock" in capsys.readouterr().out
+
+    def test_kernel_flag_widens_matrix(self, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        assert main(["wallclock", "-w", "kron18", "--repeats", "1",
+                     "--kernel", "merge", "--kernel", "local",
+                     "--out", str(out)]) == 0
+        blob = json.loads(out.read_text())
+        assert [r["kernel"] for r in blob["rows"]] == ["merge", "local"]
 
     def test_min_speedup_gate_fails(self, tmp_path, capsys):
         # An absurd bar must trip the gate (nonzero exit, FAIL line).
