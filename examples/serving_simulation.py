@@ -11,12 +11,18 @@ replayed against a fleet of four GTX 980s with
 * a per-device LRU cache of preprocessed graphs (preprocessing is
   70–90% of a run, so repeat queries get dramatically cheaper),
 * one injected device failure mid-job: the job retries on another
-  device after exponential backoff and produces the identical count.
+  device after exponential backoff and produces the identical count,
+
+then replays an *overload* trace (10x the rate, the whole fleet dying
+mid-window) with and without the serving control plane — the plane
+answers the stranded tail on the approximate degraded tier instead of
+dropping it.
 
 Run:  python examples/serving_simulation.py        (~30 s wall)
 """
 
 from repro.bench.experiments import serve_experiment
+from repro.bench.serve_scale import run_serve_scale
 
 
 def main() -> None:
@@ -46,6 +52,23 @@ def main() -> None:
           f"{nc.fast_path_service_ms:.1f} ms "
           f"({nc.fast_path_service_ms / r.fast_path_service_ms:.1f}x)")
     assert len(r.lost) == 0, "no job may be lost to the injected failure"
+
+    print("\nnow the overload story: 10x the rate, every device failing "
+          "mid-window,\nseed scheduler vs the serving control plane...\n")
+    scale = run_serve_scale(fleet_spec="gtx980x4", duration_ms=10_000.0,
+                            rate_multiplier=10.0, burst=1.0, seed=0)
+    print(scale.summary())
+    degraded = scale.plane_report.degraded
+    if degraded:
+        j = degraded[0]
+        print(f"  e.g. job {j.job_id} (shed: {j.shed.reason}) answered "
+              f"approximately:")
+        print(f"    {{'estimate': {j.estimate:.1f}, "
+              f"'error_bound': {j.error_bound:.1f}, "
+              f"'tier': '{j.tier}', 'method': '{j.approx_method}'}}")
+    assert len(scale.plane_report.lost) == 0
+    assert len(scale.plane_report.shed) == 0
+    assert scale.identical, "exact answers must match the seed replay"
 
 
 if __name__ == "__main__":

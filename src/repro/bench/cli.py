@@ -11,6 +11,7 @@ Examples::
     repro-bench inputformat multigpu baselines related
     repro-bench profile -w orkut       # nvprof-style kernel metrics
     repro-bench serve                   # multi-tenant serving simulation
+    repro-bench serve-scale             # control-plane overload bench
     repro-bench all --csv out_dir       # everything + CSV dumps
 
 ``REPRO_SCALE`` scales every workload (default mini scale; see DESIGN §6).
@@ -32,7 +33,7 @@ from repro.runtime import kernel_names
 
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
-             "sweep", "serve", "wallclock", "sanitize", "all")
+             "sweep", "serve", "serve-scale", "wallclock", "sanitize", "all")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -58,6 +59,19 @@ def _parser() -> argparse.ArgumentParser:
                         "(default: %(default)s)")
     p.add_argument("--rate", type=float, default=2.0, metavar="JOBS_PER_S",
                    help="serve: mean arrival rate (default: %(default)s)")
+    p.add_argument("--rate-multiplier", type=float, default=None,
+                   metavar="X",
+                   help="serve/serve-scale: scale the arrival rate "
+                        "(default: 1 for serve, 10 for serve-scale)")
+    p.add_argument("--burst", type=float, default=None, metavar="X",
+                   help="serve/serve-scale: burstiness factor, >= 1 "
+                        "(default: 1 for serve, 4 for serve-scale)")
+    p.add_argument("--serve-baseline", metavar="FILE",
+                   help="serve-scale: committed BENCH_serve.json to "
+                        "regression-check against")
+    p.add_argument("--p99-tolerance", type=float, default=1.2, metavar="X",
+                   help="serve-scale: allowed plane-p99 drift factor vs "
+                        "the baseline (default: %(default)s)")
     p.add_argument("--out", metavar="FILE",
                    help="wallclock: also write the report as JSON "
                         "(e.g. BENCH_kernel.json)")
@@ -198,10 +212,53 @@ def main(argv: list[str] | None = None) -> int:
         print("\n=== serving mode — multi-tenant trace replay ===")
         exp = serve_experiment(fleet_spec=args.fleet,
                                duration_ms=args.duration * 1000.0,
-                               rate_per_s=args.rate, seed=args.seed)
+                               rate_per_s=args.rate, seed=args.seed,
+                               rate_multiplier=args.rate_multiplier or 1.0,
+                               burst=args.burst or 1.0)
         print(exp.report.format_report())
         print(" ", exp.summary())
         _write(args.csv, "serve_jobs.csv", exp.report.jobs_csv())
+
+    if "serve-scale" in commands:
+        from repro.bench.serve_scale import baseline_problems as serve_drift
+        from repro.bench.serve_scale import run_serve_scale
+        print("\n=== serve-scale — control-plane overload bench ===")
+        res = run_serve_scale(fleet_spec=args.fleet,
+                              duration_ms=args.duration * 1000.0,
+                              rate_per_s=args.rate, seed=args.seed,
+                              rate_multiplier=args.rate_multiplier or 10.0,
+                              burst=args.burst or 4.0)
+        print("  -- seed replay (plane off) --")
+        print(res.seed_report.format_report())
+        print("  -- plane replay --")
+        print(res.plane_report.format_report())
+        print(" ", res.summary())
+        doc = res.doc()
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(res.json_str())
+            print(f"  wrote {args.out}")
+        _write(args.csv, "serve_scale.json", res.json_str())
+        _write(args.csv, "serve_scale_jobs.csv",
+               res.plane_report.jobs_csv())
+        plane = doc["plane_replay"]
+        if plane["lost"] or plane["unanswered"] or not res.identical:
+            print("  FAIL: plane replay lost/unanswered jobs or exact "
+                  "answers diverged")
+            return 1
+        if args.serve_baseline:
+            import json
+            with open(args.serve_baseline) as fh:
+                baseline_doc = json.load(fh)
+            drift = serve_drift(doc, baseline_doc,
+                                p99_tolerance=args.p99_tolerance)
+            for p in drift:
+                print("  baseline-check:", p)
+            if drift:
+                print(f"  FAIL: regressed vs {args.serve_baseline}")
+                return 1
+            print(f"  baseline check passed ({args.serve_baseline}, "
+                  f"p99 tolerance {args.p99_tolerance:g}x)")
 
     if "wallclock" in commands:
         from repro.bench.wallclock import DEFAULT_ROWS, run_wallclock

@@ -372,7 +372,9 @@ class ServeExperiment:
 def serve_experiment(fleet_spec: str = "gtx980x4",
                      duration_ms: float = 60_000.0,
                      rate_per_s: float = 2.0,
-                     seed: int = 0) -> ServeExperiment:
+                     seed: int = 0,
+                     rate_multiplier: float = 1.0,
+                     burst: float = 1.0) -> ServeExperiment:
     """Replay a deterministic trace against a simulated fleet.
 
     Runs three replays of the *same* trace: a fault-free pass to locate
@@ -385,7 +387,8 @@ def serve_experiment(fleet_spec: str = "gtx980x4",
                              generate_trace, serve_trace, size_fleet_memory)
 
     config = TraceConfig(seed=seed, duration_ms=duration_ms,
-                         rate_per_s=rate_per_s)
+                         rate_per_s=rate_per_s,
+                         rate_multiplier=rate_multiplier, burst=burst)
     pool = build_graph_pool(config)
     # Size capacity against the weakest card so the whale overflows all.
     probe = Fleet.parse(fleet_spec)

@@ -17,6 +17,7 @@ efficient" property the paper contrasts with (Section V).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import inf, sqrt
 
 import numpy as np
 
@@ -32,10 +33,40 @@ class BirthdayResult:
     transitivity_estimate: float
     wedge_estimate: float
     triangle_estimate: float
+    #: closed wedges observed in the wedge reservoir at stream end.
+    closed_wedges: int = 0
+    #: wedge-reservoir fill at stream end (the κ sample size).
+    wedge_reservoir_fill: int = 0
 
     @property
     def estimated_triangles(self) -> int:
         return int(round(self.triangle_estimate))
+
+    @property
+    def error_bound(self) -> float:
+        """2σ plug-in bound on the absolute estimation error.
+
+        The dominant noise term is the closed-wedge fraction: with ``k``
+        reservoir wedges and observed closed fraction ``q``, the
+        binomial standard error of κ = 3q is ``3·sqrt(q(1−q)/k)``
+        (floored at ``3·sqrt(1/k²)`` so an all-open or all-closed
+        reservoir still reports nonzero uncertainty), which propagates
+        through ``T = κ·W/3``.  W's own extrapolation error is ignored —
+        this is a reservoir-sized plug-in bound, not a confidence proof.
+        """
+        k = self.wedge_reservoir_fill
+        if k == 0:
+            return 0.0 if self.triangle_estimate == 0.0 else inf
+        q = self.closed_wedges / k
+        sigma_kappa = 3.0 * sqrt(max(q * (1.0 - q), 1.0 / k) / k)
+        return 2.0 * sigma_kappa * self.wedge_estimate / 3.0
+
+    @property
+    def relative_error_bound(self) -> float:
+        """:attr:`error_bound` as a fraction of the estimate."""
+        if self.triangle_estimate > 0:
+            return self.error_bound / self.triangle_estimate
+        return 0.0 if self.error_bound == 0.0 else inf
 
 
 def _wedges_of_reservoir(res_u: np.ndarray, res_v: np.ndarray) -> int:
@@ -132,7 +163,8 @@ def birthday_paradox_count(graph: EdgeArray,
     if wedge_fill == 0 or total_wedges_in_res == 0:
         return BirthdayResult(0.0, 0.0, 0.0)
 
-    kappa = 3.0 * float(is_closed[:wedge_fill].sum()) / wedge_fill
+    closed = int(is_closed[:wedge_fill].sum())
+    kappa = 3.0 * closed / wedge_fill
     # Extrapolate reservoir wedges to the full stream: wedge counts grow
     # ~quadratically in the sampled fraction of edges.
     frac = min(res_fill, se) / stream_len
@@ -140,4 +172,6 @@ def birthday_paradox_count(graph: EdgeArray,
     triangles = kappa * wedge_estimate / 3.0
     return BirthdayResult(transitivity_estimate=kappa,
                           wedge_estimate=wedge_estimate,
-                          triangle_estimate=triangles)
+                          triangle_estimate=triangles,
+                          closed_wedges=closed,
+                          wedge_reservoir_fill=wedge_fill)

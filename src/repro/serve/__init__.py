@@ -14,9 +14,13 @@ from repro.serve.cache import (CacheEntry, CacheStats, PreprocessCache,
                                graph_fingerprint, preprocessed_nbytes)
 from repro.serve.fleet import DEFAULT_CACHE_FRACTION, Fleet, FleetDevice
 from repro.serve.metrics import ServeReport
-from repro.serve.queue import (DONE, LOST, PATH_DISTRIBUTED, PATH_GPU,
-                               PENDING, JobQueue, ServeJob,
-                               admissible_devices,
+from repro.serve.plane import (ApproxAnswer, Batcher, ControlPlane,
+                               DegradedTier, PlaneConfig, ReplicaManager)
+from repro.serve.queue import (DONE, LOST, PATH_APPROX, PATH_DISTRIBUTED,
+                               PATH_GPU, PENDING, SHED, SHED_DEADLINE,
+                               SHED_FLEET_DEAD, SHED_NO_CAPACITY,
+                               TIER_APPROX, TIER_EXACT, JobQueue, ServeJob,
+                               ShedResponse, admissible_devices,
                                estimate_working_set_bytes, fits_device)
 from repro.serve.scheduler import FleetScheduler, serve_trace
 from repro.serve.workload import (TraceConfig, build_graph_pool,
@@ -27,8 +31,13 @@ __all__ = [
     "preprocessed_nbytes",
     "DEFAULT_CACHE_FRACTION", "Fleet", "FleetDevice",
     "ServeReport",
-    "PENDING", "DONE", "LOST", "PATH_GPU", "PATH_DISTRIBUTED",
-    "JobQueue", "ServeJob", "admissible_devices",
+    "ApproxAnswer", "Batcher", "ControlPlane", "DegradedTier",
+    "PlaneConfig", "ReplicaManager",
+    "PENDING", "DONE", "LOST", "SHED",
+    "PATH_GPU", "PATH_DISTRIBUTED", "PATH_APPROX",
+    "TIER_EXACT", "TIER_APPROX",
+    "SHED_DEADLINE", "SHED_FLEET_DEAD", "SHED_NO_CAPACITY",
+    "JobQueue", "ServeJob", "ShedResponse", "admissible_devices",
     "estimate_working_set_bytes", "fits_device",
     "FleetScheduler", "serve_trace",
     "TraceConfig", "build_graph_pool", "generate_trace",

@@ -78,6 +78,9 @@ class CacheEntry:
     inserted_ms: float
     last_used_ms: float
     hits: int = 0
+    #: pinned entries (replica-group residents) are exempt from LRU
+    #: eviction; :meth:`PreprocessCache.clear` still drops them.
+    pinned: bool = False
 
 
 @dataclass
@@ -159,16 +162,53 @@ class PreprocessCache:
             self.stats.rejected += 1
             return []
         evicted: list[CacheEntry] = []
-        while self._entries and self.bytes_used + nbytes > self.budget_bytes:
-            _, lru = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            evicted.append(lru)
+        overflow = self.bytes_used + nbytes - self.budget_bytes
+        if overflow > 0:
+            # Pick victims among *unpinned* entries, LRU first.  If the
+            # pinned residents alone leave no room, refuse the insert —
+            # replica pins must never be flushed by a passing tenant.
+            victims: list[tuple] = []
+            freed = 0
+            for k, e in self._entries.items():
+                if e.pinned:
+                    continue
+                victims.append(k)
+                freed += e.nbytes
+                if freed >= overflow:
+                    break
+            if freed < overflow:
+                self.stats.rejected += 1
+                return []
+            for k in victims:
+                evicted.append(self._entries.pop(k))
+                self.stats.evictions += 1
         self._entries[key] = CacheEntry(
             key=key, nbytes=int(nbytes), triangles=int(triangles),
             hit_service_ms=float(hit_service_ms),
             inserted_ms=now_ms, last_used_ms=now_ms)
         self.stats.insertions += 1
         return evicted
+
+    def pin(self, key: tuple) -> bool:
+        """Exempt an entry from LRU eviction (replica-group residency).
+        Returns False when the key is not resident."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        entry.pinned = True
+        return True
+
+    def unpin(self, key: tuple) -> bool:
+        """Return a pinned entry to normal LRU lifetime."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        entry.pinned = False
+        return True
+
+    @property
+    def pinned_bytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values() if e.pinned)
 
     def invalidate(self, key: tuple) -> bool:
         """Drop one entry (e.g. the graph's owner updated it)."""

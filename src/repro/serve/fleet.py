@@ -62,6 +62,11 @@ class FleetDevice:
         charged against device memory)."""
         return DeviceMemory(self.spec.with_memory(max(self.free_bytes, 1)))
 
+    def outstanding_ms(self, t_ms: float) -> float:
+        """Simulated work still in flight on the device at ``t_ms`` —
+        the control plane's least-outstanding-work balancing key."""
+        return max(self.busy_until_ms - t_ms, 0.0)
+
     def alive_at(self, t_ms: float) -> bool:
         return self.fail_at_ms is None or t_ms < self.fail_at_ms
 

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.serve.fleet import Fleet
-from repro.serve.queue import DONE, LOST, PATH_DISTRIBUTED, ServeJob
+from repro.serve.queue import (DONE, LOST, PATH_DISTRIBUTED, SHED, TIER_APPROX,
+                               ServeJob)
 from repro.utils import human_bytes, human_ms
 
 
@@ -45,6 +46,15 @@ class ServeReport:
     #: when jobs carry ``options.sanitize != "off"``; a clean fleet
     #: serves every trace at 0).
     sanitizer_findings: int = 0
+    #: a :class:`~repro.serve.plane.ControlPlane` drove this replay.
+    plane_enabled: bool = False
+    #: device launches that served jobs (batched launches count once).
+    launches: int = 0
+    #: launches that served >= 2 coalesced jobs, and the jobs they served.
+    batched_launches: int = 0
+    batched_jobs: int = 0
+    #: pinned replica copies the plane installed.
+    replications: int = 0
 
     # ------------------------------------------------------------------ #
     # job populations
@@ -61,6 +71,35 @@ class ServeReport:
     @property
     def retried(self) -> list[ServeJob]:
         return [j for j in self.jobs if j.attempts > 0]
+
+    @property
+    def shed(self) -> list[ServeJob]:
+        """Jobs shed without an answer (typed ShedResponse attached)."""
+        return [j for j in self.jobs if j.status == SHED]
+
+    @property
+    def degraded(self) -> list[ServeJob]:
+        """Jobs answered on the approximate tier (done, tier="approx")."""
+        return [j for j in self.jobs if j.status == DONE
+                and j.tier == TIER_APPROX]
+
+    @property
+    def approx_mean_rel_error(self) -> float | None:
+        """Mean relative error of degraded answers against the exact
+        count, over degraded jobs whose graph also completed exactly in
+        this replay (``None`` when no pair exists)."""
+        truth = {j.fingerprint: j.triangles for j in self.done
+                 if j.tier != TIER_APPROX and j.triangles > 0}
+        errs = [abs(j.estimate - truth[j.fingerprint]) / truth[j.fingerprint]
+                for j in self.degraded
+                if j.fingerprint in truth and j.estimate is not None]
+        return float(np.mean(errs)) if errs else None
+
+    @property
+    def jobs_per_launch(self) -> float:
+        served = len([j for j in self.done if j.path not in
+                      (PATH_DISTRIBUTED,) and j.tier != TIER_APPROX])
+        return served / self.launches if self.launches else 0.0
 
     # ------------------------------------------------------------------ #
     # latency / throughput
@@ -143,18 +182,19 @@ class ServeReport:
                 f"{human_ms(self.p95_ms)} / {human_ms(self.p99_ms)}, "
                 f"cache hits {self.cache_hit_rate:.0%}, "
                 f"{self.fallbacks} fallback, {self.faults} faults, "
-                f"{len(self.lost)} lost")
+                f"{len(self.shed)} shed, {len(self.lost)} lost")
 
     def jobs_csv(self) -> str:
         """Per-job records, machine-readable (the ``--csv`` dump)."""
         lines = ["job_id,arrival_ms,start_ms,finish_ms,priority,status,"
-                 "path,device,cache_hit,attempts,triangles"]
+                 "path,device,cache_hit,attempts,triangles,tier,shed_reason"]
         for j in sorted(self.jobs, key=lambda j: j.job_id):
+            reason = j.shed.reason if j.shed is not None else ""
             lines.append(
                 f"{j.job_id},{j.arrival_ms:.3f},{j.start_ms:.3f},"
                 f"{j.finish_ms:.3f},{j.priority},{j.status},{j.path},"
                 f"{j.device_index},{int(j.cache_hit)},{j.attempts},"
-                f"{j.triangles}")
+                f"{j.triangles},{j.tier},{reason}")
         return "\n".join(lines) + "\n"
 
     def format_report(self) -> str:
@@ -189,6 +229,17 @@ class ServeReport:
         metric("deadline misses", f"{self.deadline_misses}")
         metric("lost jobs", f"{len(self.lost)}")
         metric("sanitizer findings", f"{self.sanitizer_findings}")
+        if self.plane_enabled:
+            metric("shared launches (jobs / launch)",
+                   f"{self.batched_launches} batched, "
+                   f"{self.batched_jobs} jobs coalesced, "
+                   f"{self.jobs_per_launch:.2f} jobs/launch")
+            metric("replica copies pinned", f"{self.replications}")
+            err = self.approx_mean_rel_error
+            metric("shed / degraded-tier answers",
+                   f"{len(self.shed)} / {len(self.degraded)}"
+                   + (f" (mean rel err {err:.1%})" if err is not None
+                      else ""))
         span = self.makespan_ms
         for dev in self.fleet:
             state = ("FAILED @ " + human_ms(dev.fail_at_ms)

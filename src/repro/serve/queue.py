@@ -95,11 +95,45 @@ def estimate_working_set_bytes(graph: EdgeArray,
 # jobs
 # ---------------------------------------------------------------------- #
 
-#: Job lifecycle states.
-PENDING, DONE, LOST = "pending", "done", "lost"
+#: Job lifecycle states.  Every job ends in exactly one of
+#: {DONE, SHED, LOST}: DONE carries an answer (exact or approximate),
+#: SHED carries a typed :class:`ShedResponse`, and LOST is reserved for
+#: jobs whose retry budget was exhausted by device faults.
+PENDING, DONE, LOST, SHED = "pending", "done", "lost", "shed"
 
 #: Execution paths.
-PATH_GPU, PATH_DISTRIBUTED = "gpu", "distributed"
+PATH_GPU, PATH_DISTRIBUTED, PATH_APPROX = "gpu", "distributed", "approx"
+
+#: Answer tiers: exact GPU counts vs the degraded approximate tier.
+TIER_EXACT, TIER_APPROX = "exact", "approx"
+
+#: Typed shed reasons (:attr:`ShedResponse.reason`).
+SHED_DEADLINE = "deadline-unmeetable"   # wait model predicts an SLO miss
+SHED_NO_CAPACITY = "no-capacity"        # fits no device, even split 16 ways
+SHED_FLEET_DEAD = "fleet-dead"          # no healthy device can ever serve it
+
+
+@dataclass(frozen=True)
+class ShedResponse:
+    """Typed record of why a job was shed (or downgraded) — the answer a
+    tenant gets instead of a silent loss.
+
+    When the degraded tier answers the job, ``degraded`` is True and the
+    job itself still ends :data:`DONE` (``tier="approx"``) with the
+    estimate payload on the job record; the response then documents the
+    admission decision that rerouted it.
+    """
+
+    job_id: int
+    reason: str                            # one of the SHED_* constants
+    at_ms: float                           # simulated decision time
+    #: effective deadline the admission controller enforced (the job's
+    #: own, or the plane's default SLO for deadline-less jobs).
+    slo_ms: float | None = None
+    predicted_start_ms: float | None = None
+    predicted_finish_ms: float | None = None
+    #: True when the approximate tier answered instead of dropping.
+    degraded: bool = False
 
 
 @dataclass
@@ -132,6 +166,14 @@ class ServeJob:
     start_ms: float = -1.0
     finish_ms: float = -1.0
     triangles: int = -1
+    #: answer tier: exact GPU count vs degraded approximate estimate.
+    tier: str = TIER_EXACT
+    #: the typed admission record for shed / degraded jobs.
+    shed: ShedResponse | None = None
+    # approximate-tier payload (``tier == TIER_APPROX`` only)
+    estimate: float | None = None
+    error_bound: float | None = None
+    approx_method: str = ""
 
     def __post_init__(self):
         if not self.fingerprint:
@@ -162,6 +204,13 @@ class ServeJob:
                 self.deadline_ms if self.deadline_ms is not None else inf,
                 -self.est_arcs,
                 self.arrival_ms)
+
+    def cache_key(self) -> tuple:
+        """The preprocessed-cache identity this job hits — two jobs with
+        equal keys are answered by the same device-resident structures
+        (and may therefore share one launch, see the control plane's
+        batcher)."""
+        return (self.fingerprint, self.options.cache_key())
 
 
 # ---------------------------------------------------------------------- #
@@ -233,6 +282,35 @@ class JobQueue:
         """Earliest future time a held job becomes ready (backoff expiry)."""
         self._promote(t_ms)
         return self._delayed[0][0] if self._delayed else None
+
+    def ready_in_order(self, t_ms: float) -> list[ServeJob]:
+        """Non-destructive snapshot of the ready jobs in pop order (the
+        admission controller's forecast walks this)."""
+        self._promote(t_ms)
+        return [job for _, _, job in sorted(self._ready)]
+
+    def take_where(self, t_ms: float, pred, limit: int | None = None
+                   ) -> list[ServeJob]:
+        """Remove and return up to ``limit`` ready jobs matching ``pred``
+        (pop order).  Held (backoff) jobs are never taken.
+
+        The batcher uses this to coalesce same-cache-key jobs into one
+        shared launch; the admission controller uses it to pull doomed
+        jobs out of the queue."""
+        self._promote(t_ms)
+        taken: list[ServeJob] = []
+        taken_ids: set[int] = set()
+        for _, _, job in sorted(self._ready):
+            if limit is not None and len(taken) >= limit:
+                break
+            if pred(job):
+                taken.append(job)
+                taken_ids.add(id(job))
+        if taken:
+            self._ready = [item for item in self._ready
+                           if id(item[2]) not in taken_ids]
+            heapq.heapify(self._ready)
+        return taken
 
     def drain(self) -> list[ServeJob]:
         """Remove and return everything (end-of-run accounting)."""

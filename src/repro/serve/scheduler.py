@@ -31,6 +31,7 @@ optimization; every simulated number is what a fresh run would report.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.distributed import distributed_count_triangles
 from repro.core.forward_gpu import gpu_count_triangles
@@ -39,9 +40,14 @@ from repro.gpusim.hostprof import HostProfiler, host_profiling
 from repro.serve.cache import preprocessed_nbytes
 from repro.serve.fleet import Fleet, FleetDevice
 from repro.serve.metrics import ServeReport
-from repro.serve.queue import (DONE, LOST, PATH_DISTRIBUTED, PATH_GPU,
-                               JobQueue, ServeJob,
+from repro.serve.plane.replicas import ResidentEntry
+from repro.serve.queue import (DONE, LOST, PATH_DISTRIBUTED, PATH_GPU, SHED,
+                               SHED_FLEET_DEAD, SHED_NO_CAPACITY, JobQueue,
+                               ServeJob, ShedResponse,
                                estimate_working_set_bytes, fits_device)
+
+if TYPE_CHECKING:
+    from repro.serve.plane import ControlPlane
 
 #: Escalation ladder for the fallback path: smallest part count whose
 #: subgraphs fit the device wins (more parts = more redundant work).
@@ -75,10 +81,16 @@ class FleetScheduler:
     backoff_ms : float
         Base of the exponential retry backoff: attempt *k* waits
         ``backoff_ms · 2^(k-1)`` simulated milliseconds after the fault.
+    plane : ControlPlane, optional
+        The serving control plane (:mod:`repro.serve.plane`).  When
+        installed it adds SLO-aware admission, continuous batching,
+        replica groups and the approximate degraded tier; ``None``
+        (default) reproduces the seed scheduler exactly.
     """
 
     def __init__(self, fleet: Fleet, cache_enabled: bool = True,
-                 max_attempts: int = 4, backoff_ms: float = 25.0):
+                 max_attempts: int = 4, backoff_ms: float = 25.0,
+                 plane: "ControlPlane | None" = None):
         if max_attempts < 1:
             raise ReproError(f"need >= 1 attempt, got {max_attempts}")
         if backoff_ms < 0:
@@ -87,6 +99,7 @@ class FleetScheduler:
         self.cache_enabled = cache_enabled
         self.max_attempts = max_attempts
         self.backoff_ms = backoff_ms
+        self.plane = plane
         self._gpu_memo: dict[tuple, _GpuRunMemo] = {}
         self._dist_memo: dict[tuple, object] = {}
 
@@ -125,7 +138,21 @@ class FleetScheduler:
                 queue.push(arrivals[ai])
                 ai += 1
 
+            if self.plane is not None:
+                # SLO-aware admission: shed (→ degraded tier) every
+                # ready job the wait model predicts will miss its
+                # effective deadline, before capacity is spent on it.
+                self.plane.admission_pass(t, queue, self.fleet)
+
             self._dispatch_at(t, queue, report)
+
+            if len(queue) and not self.fleet.healthy(t):
+                # Failures are permanent, so an empty healthy set can
+                # never recover: shed queued jobs now (typed response;
+                # degraded-tier answer when a plane provides one) rather
+                # than letting them age to the end of the trace.
+                for job in queue.drain():
+                    self._shed(job, SHED_FLEET_DEAD, t)
 
             # Advance to the next event: an arrival, a device completion
             # (something is waiting for capacity), or a backoff expiry.
@@ -143,12 +170,18 @@ class FleetScheduler:
             if candidates:
                 t = min(candidates)
             elif len(queue):
-                # No future event can free capacity — every queued job is
-                # unservable (e.g. the whole fleet failed).
+                # No future event can free capacity — every queued job
+                # is unservable (e.g. the whole fleet failed).  Route
+                # them through the shed path: a typed ShedResponse (and
+                # a degraded-tier answer when a plane provides one)
+                # instead of a silent loss.
                 for job in queue.drain():
-                    job.status = LOST
+                    self._shed(job, SHED_FLEET_DEAD, t)
             # else: loop condition drains naturally
 
+        if self.plane is not None:
+            report.plane_enabled = True
+            report.replications = self.plane.replicas.replications
         return report
 
     # ------------------------------------------------------------------ #
@@ -167,8 +200,10 @@ class FleetScheduler:
                 return
             eligible = [d for d in idle if fits_device(job, d)]
             if eligible:
-                self._attempt_gpu(job, self._pick_device(eligible), t,
-                                  queue, report)
+                dev = (self.plane.pick_device(job, eligible, t)
+                       if self.plane is not None
+                       else self._pick_device(eligible))
+                self._attempt_gpu(job, dev, t, queue, report)
                 continue
             if any(fits_device(job, d) for d in self.fleet.healthy(t)):
                 # Fits a busy device — hold the queue head until it frees
@@ -193,7 +228,7 @@ class FleetScheduler:
 
     def _attempt_gpu(self, job: ServeJob, dev: FleetDevice, start: float,
                      queue: JobQueue, report: ServeReport) -> None:
-        cache_key = (job.fingerprint, job.options.cache_key())
+        cache_key = job.cache_key()
         entry = (dev.cache.lookup(cache_key, start)
                  if self.cache_enabled else None)
         if entry is not None:
@@ -203,14 +238,21 @@ class FleetScheduler:
             memo = self._run_gpu(job, dev)
             service, triangles, hit = memo.total_ms, memo.triangles, False
 
+        # Continuous batching: every ready job with the same cache key
+        # rides this launch and fans its (identical, deterministic)
+        # result back out — one H2D + launch instead of N.
+        batch = [job]
+        if self.plane is not None:
+            batch += self.plane.collect_batch(job, queue, start)
+
         end = start + service
         if dev.fails_within(start, end):
-            self._fault(job, dev, start, queue, report)
+            self._fault(batch, dev, start, queue, report)
             return
 
         dev.busy_until_ms = end
         dev.busy_ms += service
-        dev.jobs_completed += 1
+        dev.jobs_completed += len(batch)
         if memo is not None:
             report.sanitizer_findings += memo.sanitizer_findings
         if self.cache_enabled and memo is not None:
@@ -218,13 +260,29 @@ class FleetScheduler:
                              triangles=memo.triangles,
                              hit_service_ms=memo.hit_service_ms,
                              now_ms=start)
-        job.status = DONE
-        job.path = PATH_GPU
-        job.cache_hit = hit
-        job.device_index = dev.index
-        job.start_ms = start
-        job.finish_ms = end
-        job.triangles = triangles
+        report.launches += 1
+        if len(batch) > 1:
+            report.batched_launches += 1
+            report.batched_jobs += len(batch)
+        for b in batch:
+            b.status = DONE
+            b.path = PATH_GPU
+            b.cache_hit = hit
+            b.device_index = dev.index
+            b.start_ms = start
+            b.finish_ms = end
+            b.triangles = triangles
+        if self.plane is not None:
+            resident = None
+            if self.cache_enabled:
+                resident = (ResidentEntry(memo.resident_nbytes,
+                                          memo.triangles,
+                                          memo.hit_service_ms)
+                            if memo is not None else
+                            ResidentEntry(entry.nbytes, entry.triangles,
+                                          entry.hit_service_ms))
+            self.plane.on_gpu_complete(batch, cache_key, self.fleet,
+                                       service, hit, resident, end)
 
     def _run_gpu(self, job: ServeJob, dev: FleetDevice) -> _GpuRunMemo:
         """Run (or replay) the single-device pipeline for this job.
@@ -268,7 +326,7 @@ class FleetScheduler:
         while True:
             participants = [d for d in self.fleet.healthy(start)]
             if not participants:
-                job.status = LOST
+                self._shed(job, SHED_FLEET_DEAD, start)
                 return
             new_start = max([t] + [d.busy_until_ms for d in participants])
             if new_start == start:
@@ -289,7 +347,9 @@ class FleetScheduler:
         result = self._run_distributed(job, weakest.spec.with_memory(capacity),
                                        len(participants))
         if result is None:
-            job.status = LOST      # cannot fit even split 16 ways
+            # Cannot fit even split 16 ways: shed with a typed reason
+            # (the degraded tier still answers it when a plane is on).
+            self._shed(job, SHED_NO_CAPACITY, start)
             return
 
         finish = start + result.total_ms
@@ -318,6 +378,9 @@ class FleetScheduler:
         job.finish_ms = finish
         job.triangles = result.triangles
         report.fallbacks += 1
+        if self.plane is not None:
+            self.plane.on_distributed_complete(job, job.cache_key(),
+                                               result.total_ms)
 
     def _run_distributed(self, job: ServeJob, spec, num_gpus: int):
         """Partitioned/distributed run with part-count escalation."""
@@ -341,20 +404,37 @@ class FleetScheduler:
     # faults
     # ------------------------------------------------------------------ #
 
-    def _fault(self, job: ServeJob, dev: FleetDevice, start: float,
+    def _fault(self, batch: list[ServeJob], dev: FleetDevice, start: float,
                queue: JobQueue, report: ServeReport) -> None:
         fault_ms = dev.fail_at_ms
         dev.busy_until_ms = max(dev.busy_until_ms, fault_ms)
         dev.busy_ms += fault_ms - start
         dev.faults += 1
-        self._requeue_or_lose(job, fault_ms, queue, report)
+        for job in batch:
+            self._requeue_or_lose(job, fault_ms, queue, report)
+
+    def _shed(self, job: ServeJob, reason: str, t_ms: float) -> None:
+        """Terminal no-capacity exit: a typed :class:`ShedResponse`
+        (status :data:`SHED`), or a degraded-tier answer when the plane
+        provides one — never a bare ``lost``."""
+        resp = ShedResponse(job_id=job.job_id, reason=reason, at_ms=t_ms)
+        if self.plane is not None:
+            self.plane.resolve_shed(job, resp)
+            return
+        job.status = SHED
+        job.shed = resp
 
     def _requeue_or_lose(self, job: ServeJob, fault_ms: float,
                          queue: JobQueue, report: ServeReport) -> None:
         report.faults += 1
         job.attempts += 1
         if job.attempts >= self.max_attempts:
-            job.status = LOST
+            if self.plane is not None:
+                # The degraded tier is the backstop: a retry-exhausted
+                # job gets an approximate answer instead of a drop.
+                self._shed(job, SHED_NO_CAPACITY, fault_ms)
+            else:
+                job.status = LOST
             return
         job.not_before_ms = (fault_ms
                              + self.backoff_ms * 2 ** (job.attempts - 1))

@@ -34,6 +34,11 @@ POOL_SCALES = (7, 7, 8, 8, 9)
 #: RMAT scale of the whale (must dwarf the pool's largest).
 WHALE_SCALE = 10
 
+#: burst-mode window: every period, the first ``BURST_DUTY`` fraction is
+#: the on-window (arrivals at ``burst`` x the base rate).
+BURST_PERIOD_MS = 10_000.0
+BURST_DUTY = 0.25
+
 
 @dataclass(frozen=True)
 class TraceConfig:
@@ -56,6 +61,15 @@ class TraceConfig:
     priorities: tuple[int, ...] = (0, 1, 2)
     priority_weights: tuple[float, ...] = (0.7, 0.2, 0.1)
     options: GpuOptions = field(default_factory=GpuOptions)
+    #: uniform scaling of the arrival rate (overload studies drive the
+    #: serve-scale bench at 10x and beyond).  1.0 leaves the rng stream
+    #: untouched, so existing traces stay byte-identical.
+    rate_multiplier: float = 1.0
+    #: burstiness: >1 concentrates arrivals into periodic on-windows
+    #: (every :data:`BURST_PERIOD_MS`, the first quarter runs at
+    #: ``burst`` x the base rate; off-windows run at the residual rate so
+    #: the long-run mean rate is preserved).  1.0 = plain Poisson.
+    burst: float = 1.0
 
 
 def build_graph_pool(config: TraceConfig = TraceConfig()) -> list[EdgeArray]:
@@ -104,6 +118,11 @@ def generate_trace(config: TraceConfig = TraceConfig(),
     """
     if config.rate_per_s <= 0:
         raise ReproError(f"rate must be > 0, got {config.rate_per_s}")
+    if config.rate_multiplier <= 0:
+        raise ReproError(
+            f"rate_multiplier must be > 0, got {config.rate_multiplier}")
+    if config.burst < 1:
+        raise ReproError(f"burst must be >= 1, got {config.burst}")
     if pool is None:
         pool = build_graph_pool(config)
     if not pool:
@@ -116,10 +135,25 @@ def generate_trace(config: TraceConfig = TraceConfig(),
     pri = np.asarray(config.priority_weights, dtype=float)
     pri /= pri.sum()
 
+    base_rate = config.rate_per_s * config.rate_multiplier
+    # Mean-preserving burstiness: on-windows run at `burst` x, the
+    # off-windows at the residual rate (floored so gaps stay finite).
+    off_factor = max((1.0 - BURST_DUTY * config.burst) / (1.0 - BURST_DUTY),
+                     0.02)
+
+    def rate_at(t_ms: float) -> float:
+        if config.burst == 1.0:
+            return base_rate
+        in_burst = (t_ms % BURST_PERIOD_MS) < BURST_PERIOD_MS * BURST_DUTY
+        return base_rate * (config.burst if in_burst else off_factor)
+
     jobs: list[ServeJob] = []
     t = 0.0
     while True:
-        t += rng.exponential(1000.0 / config.rate_per_s)
+        # Folding the rate into the exponential's scale keeps the rng
+        # stream byte-identical to the seed trace when multiplier and
+        # burst are both 1 (determinism is an acceptance criterion).
+        t += rng.exponential(1000.0 / rate_at(t))
         if t >= config.duration_ms:
             break
         if (config.include_whale and len(pool) > 1

@@ -41,6 +41,26 @@ class TestDoulion:
         res = doulion_count(k5, p=0.5, seed=4)
         assert res.estimate == pytest.approx(res.sparsified_triangles / 0.125)
 
+    def test_error_bound_is_zero_for_exact_runs(self, small_ba):
+        res = doulion_count(small_ba, p=1.0, seed=1)
+        assert res.error_bound == 0.0
+        assert res.relative_error_bound == 0.0
+
+    def test_error_bound_brackets_truth(self, dense_graph):
+        # A 2-sigma plug-in bound: allow the occasional 3-sigma escape
+        # but demand the bracket holds for the large majority of seeds.
+        truth = matmul_count(dense_graph).triangles
+        hits = sum(
+            abs(doulion_count(dense_graph, p=0.5, seed=s).estimate - truth)
+            <= doulion_count(dense_graph, p=0.5, seed=s).error_bound
+            for s in range(10))
+        assert hits >= 8
+
+    def test_error_bound_shrinks_with_p(self, dense_graph):
+        loose = doulion_count(dense_graph, p=0.25, seed=1)
+        tight = doulion_count(dense_graph, p=0.75, seed=1)
+        assert tight.relative_error_bound < loose.relative_error_bound
+
 
 class TestBirthdayParadox:
     def test_complete_graph_transitivity(self):
@@ -69,3 +89,25 @@ class TestBirthdayParadox:
     def test_invalid_reservoirs(self, k5):
         with pytest.raises(ReproError):
             birthday_paradox_count(k5, edge_reservoir=1)
+
+    def test_error_bound_zero_on_triangle_free(self, triangle_free):
+        res = birthday_paradox_count(triangle_free, edge_reservoir=100,
+                                     wedge_reservoir=100, seed=3)
+        assert res.closed_wedges == 0
+        assert res.relative_error_bound in (0.0,) or res.error_bound >= 0.0
+
+    def test_error_bound_positive_when_sampling(self, dense_graph):
+        res = birthday_paradox_count(dense_graph, edge_reservoir=800,
+                                     wedge_reservoir=800, seed=2)
+        assert 0 < res.closed_wedges <= res.wedge_reservoir_fill
+        assert res.error_bound > 0.0
+        assert res.relative_error_bound > 0.0
+
+    def test_error_bound_brackets_truth_usually(self, dense_graph):
+        truth = matmul_count(dense_graph).triangles
+        hits = 0
+        for s in range(10):
+            res = birthday_paradox_count(dense_graph, edge_reservoir=800,
+                                         wedge_reservoir=800, seed=s)
+            hits += abs(res.triangle_estimate - truth) <= res.error_bound
+        assert hits >= 7

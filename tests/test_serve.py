@@ -13,9 +13,9 @@ from repro.bench.experiments import serve_experiment
 from repro.cpu.forward import forward_count_cpu
 from repro.errors import ReproError
 from repro.gpusim.device import DEVICES
-from repro.serve import (DONE, Fleet, FleetScheduler, TraceConfig,
-                         build_graph_pool, generate_trace, serve_trace,
-                         size_fleet_memory)
+from repro.serve import (DONE, SHED_FLEET_DEAD, Fleet, FleetScheduler,
+                         TraceConfig, build_graph_pool, generate_trace,
+                         serve_trace, size_fleet_memory)
 
 CONFIG = TraceConfig(seed=7, duration_ms=12_000.0, rate_per_s=2.5)
 
@@ -133,11 +133,18 @@ class TestAcceptance:
         for a, b in zip(base.jobs, nocache.jobs):
             assert a.triangles == b.triangles
 
-    def test_whole_fleet_dead_loses_pending_jobs(self, pool, memory):
+    def test_whole_fleet_dead_sheds_pending_jobs(self, pool, memory):
+        # Undispatchable jobs go through the shed path with a typed
+        # reason — a bare ``lost`` is reserved for retry exhaustion.
         fleet = Fleet.from_keys(["gtx980"], memory_bytes=memory)
         fleet.inject_failure(0, at_ms=0.0)
         report = serve_trace(fleet, generate_trace(CONFIG, pool))
-        assert len(report.lost) == len(report.jobs) > 0
+        assert len(report.shed) == len(report.jobs) > 0
+        assert len(report.lost) == 0
+        for job in report.shed:
+            assert job.shed is not None
+            assert job.shed.reason == SHED_FLEET_DEAD
+            assert job.shed.job_id == job.job_id
 
     def test_scheduler_argument_validation(self, memory):
         fleet = Fleet.from_keys(["gtx980"], memory_bytes=memory)
