@@ -81,43 +81,90 @@ REAL_STANDIN_EXTRA_SLACK = 3.0
 MIN_ARCS_FOR_SPEEDUP_BANDS = 20_000
 
 
-def check_row(row: RowResult) -> list[str]:
-    """Return the band violations of one measured Table I row.
+@dataclass(frozen=True)
+class BandCheck:
+    """One band check of one row, as a structured record.
+
+    The reproduction bundle (:mod:`repro.bench.reproduce`) serializes
+    these into ``artifacts/summary.json`` — every measured number next
+    to the paper's quoted band, with an explicit pass/fail — while
+    :func:`check_row` keeps its original return-the-violations-as-strings
+    contract for the benches.
+    """
+
+    name: str                 # e.g. "c2050_speedup"
+    workload: str
+    value: float
+    lo: float                 # the paper's quoted band, un-widened
+    hi: float
+    #: False when the band does not apply to this row (tiny graph in the
+    #: fixed-overhead regime, device config not run, kernel not
+    #: DRAM-bound); non-applicable checks never count as failures.
+    applies: bool
+    passed: bool
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name, "workload": self.workload,
+            "value": round(self.value, 4),
+            "paper_lo": self.lo, "paper_hi": self.hi,
+            "applies": self.applies, "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+def row_checks(row: RowResult) -> list[BandCheck]:
+    """Every band check of one measured Table I row, pass or fail.
 
     Speedup bands apply only to rows large enough to escape the
     fixed-overhead regime; the bandwidth band applies only when the
     counting kernel is actually DRAM-bound (the regime the paper's
     "about half of peak" observation describes).
     """
-    problems = []
     name = row.workload.name
-    if row.num_arcs < MIN_ARCS_FOR_SPEEDUP_BANDS:
-        return problems
+    in_regime = row.num_arcs >= MIN_ARCS_FOR_SPEEDUP_BANDS
     extra = REAL_STANDIN_EXTRA_SLACK if row.workload.kind == "real" else 1.0
-    if row.c2050 and not C2050_SPEEDUP.check(row.c2050_speedup, extra):
-        problems.append(
-            f"{name}: C2050 speedup {row.c2050_speedup:.1f}x outside "
-            f"{C2050_SPEEDUP.lo}-{C2050_SPEEDUP.hi} band")
-    if row.gtx980 and not GTX980_SPEEDUP.check(row.gtx980_speedup, extra):
-        problems.append(
-            f"{name}: GTX980 speedup {row.gtx980_speedup:.1f}x outside "
-            f"{GTX980_SPEEDUP.lo}-{GTX980_SPEEDUP.hi} band")
-    if row.quad and not QUAD_SPEEDUP.check(row.quad_speedup):
-        problems.append(
-            f"{name}: quad speedup {row.quad_speedup:.2f}x outside "
-            f"{QUAD_SPEEDUP.lo}-{QUAD_SPEEDUP.hi} band")
+    checks = []
+
+    def add(check_name, value, band, applies, extra_slack=1.0, detail=""):
+        applies = bool(applies)          # plain bool (numpy leaks here)
+        checks.append(BandCheck(
+            name=check_name, workload=name, value=float(value),
+            lo=band.lo, hi=band.hi, applies=applies,
+            passed=(not applies) or bool(band.check(value, extra_slack)),
+            detail=detail))
+
+    add("c2050_speedup", row.c2050_speedup, C2050_SPEEDUP,
+        applies=bool(row.c2050) and in_regime, extra_slack=extra,
+        detail=f"{name}: C2050 speedup {row.c2050_speedup:.1f}x outside "
+               f"{C2050_SPEEDUP.lo}-{C2050_SPEEDUP.hi} band")
+    add("gtx980_speedup", row.gtx980_speedup, GTX980_SPEEDUP,
+        applies=bool(row.gtx980) and in_regime, extra_slack=extra,
+        detail=f"{name}: GTX980 speedup {row.gtx980_speedup:.1f}x outside "
+               f"{GTX980_SPEEDUP.lo}-{GTX980_SPEEDUP.hi} band")
+    add("quad_speedup", row.quad_speedup, QUAD_SPEEDUP,
+        applies=bool(row.quad) and in_regime,
+        detail=f"{name}: quad speedup {row.quad_speedup:.2f}x outside "
+               f"{QUAD_SPEEDUP.lo}-{QUAD_SPEEDUP.hi} band")
+    add("cache_hit_pct", row.cache_hit_pct, CACHE_HIT_PCT,
+        applies=bool(row.gtx980) and in_regime,
+        detail=f"{name}: cache hit {row.cache_hit_pct:.1f}% outside "
+               f"{CACHE_HIT_PCT.lo}-{CACHE_HIT_PCT.hi}% band")
     if row.gtx980:
-        if not CACHE_HIT_PCT.check(row.cache_hit_pct):
-            problems.append(
-                f"{name}: cache hit {row.cache_hit_pct:.1f}% outside "
-                f"{CACHE_HIT_PCT.lo}-{CACHE_HIT_PCT.hi}% band")
-        if row.gtx980.kernel_timing.bound == "dram":
-            frac = row.bandwidth_gbs / row.gtx980.device.peak_bandwidth_gbs
-            if not BANDWIDTH_FRACTION_OF_PEAK.check(frac):
-                problems.append(
-                    f"{name}: bandwidth {row.bandwidth_gbs:.0f} GB/s = "
-                    f"{frac:.2f} of peak, outside the 'about half' band")
-    return problems
+        frac = row.bandwidth_gbs / row.gtx980.device.peak_bandwidth_gbs
+        dram_bound = row.gtx980.kernel_timing.bound == "dram"
+        add("bandwidth_fraction", frac, BANDWIDTH_FRACTION_OF_PEAK,
+            applies=dram_bound and in_regime,
+            detail=f"{name}: bandwidth {row.bandwidth_gbs:.0f} GB/s = "
+                   f"{frac:.2f} of peak, outside the 'about half' band")
+    return checks
+
+
+def check_row(row: RowResult) -> list[str]:
+    """Return the band violations of one measured Table I row (the
+    human-readable strings of :func:`row_checks`'s failures)."""
+    return [c.detail for c in row_checks(row) if c.applies and not c.passed]
 
 
 def check_daggers(rows: list[RowResult]) -> list[str]:

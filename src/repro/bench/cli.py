@@ -11,7 +11,10 @@ Examples::
     repro-bench inputformat multigpu baselines related
     repro-bench profile -w orkut       # nvprof-style kernel metrics
     repro-bench serve                   # multi-tenant serving simulation
+    repro-bench serve --tuned configs/tuned.json   # with autotuned configs
     repro-bench serve-scale             # control-plane overload bench
+    repro-bench tune --config configs/sweep.toml   # autotune the sweep grid
+    repro-bench reproduce --preset tiny # one-command artifact bundle
     repro-bench all --csv out_dir       # everything + CSV dumps
 
 ``REPRO_SCALE`` scales every workload (default mini scale; see DESIGN §6).
@@ -20,6 +23,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -33,7 +37,11 @@ from repro.runtime import kernel_names
 
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
-             "sweep", "serve", "serve-scale", "wallclock", "sanitize", "all")
+             "sweep", "serve", "serve-scale", "wallclock", "sanitize",
+             "tune", "reproduce", "all")
+#: ``all`` expands to every experiment except the bundle (which would
+#: re-run everything a second time into ``artifacts/``).
+_ALL_EXCLUDES = ("all", "reproduce")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -41,8 +49,11 @@ def _parser() -> argparse.ArgumentParser:
         prog="repro-bench",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    p.add_argument("commands", nargs="+", choices=_COMMANDS,
-                   help="which experiment(s) to run")
+    # No ``choices=`` here: argparse's SystemExit hides the command list
+    # behind a usage dump.  main() validates and prints it instead.
+    p.add_argument("commands", nargs="+", metavar="command",
+                   help=f"which experiment(s) to run "
+                        f"(choices: {', '.join(_COMMANDS)})")
     p.add_argument("-w", "--workload", action="append", dest="workloads",
                    choices=list(WORKLOADS),
                    help="restrict table1/table2 to specific rows")
@@ -96,6 +107,17 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="sanitize: run the matrix in strict mode (typed "
                         "errors at the first finding)")
+    p.add_argument("--config", metavar="FILE",
+                   help="tune/reproduce: sweep config, TOML or JSON "
+                        "(default for tune: configs/sweep.toml)")
+    p.add_argument("--tuned", metavar="FILE",
+                   help="serve: apply per-device tuned configs "
+                        "(e.g. configs/tuned.json) to every launch")
+    p.add_argument("--preset", choices=("tiny", "full"), default="full",
+                   help="reproduce: artifact profile (default: %(default)s)")
+    p.add_argument("--out-dir", default="artifacts", metavar="DIR",
+                   help="reproduce: artifact directory "
+                        "(default: %(default)s)")
     return p
 
 
@@ -111,11 +133,30 @@ def _write(csv_dir: str | None, filename: str, content: str) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
+    unknown = [c for c in args.commands if c not in _COMMANDS]
+    if unknown:
+        print(f"repro-bench: unknown command(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"valid commands: {', '.join(_COMMANDS)}", file=sys.stderr)
+        return 2
     commands = set(args.commands)
     if "all" in commands:
-        commands = set(_COMMANDS) - {"all"}
+        commands = set(_COMMANDS) - set(_ALL_EXCLUDES)
     configs = ("c2050", "gtx980") if args.no_quad else ("c2050", "quad",
                                                         "gtx980")
+
+    if "reproduce" in commands:
+        from repro.bench.reproduce import run_reproduce
+        result = run_reproduce(preset_name=args.preset, seed=args.seed,
+                               out_dir=args.out_dir,
+                               config_path=args.config)
+        commands -= {"reproduce"}
+        if not result.ok:
+            print(f"  FAIL: see "
+                  f"{os.path.join(args.out_dir, 'summary.json')}")
+            return 1
+        if not commands:
+            return 0
 
     rows = None
     if commands & {"table1", "table2", "figure1"}:
@@ -210,11 +251,16 @@ def main(argv: list[str] | None = None) -> int:
     if "serve" in commands:
         from repro.bench.experiments import serve_experiment
         print("\n=== serving mode — multi-tenant trace replay ===")
+        tuned = None
+        if args.tuned:
+            from repro.serve import TunedConfigs
+            tuned = TunedConfigs.load(args.tuned)
+            print("  " + tuned.summary().replace("\n", "\n  "))
         exp = serve_experiment(fleet_spec=args.fleet,
                                duration_ms=args.duration * 1000.0,
                                rate_per_s=args.rate, seed=args.seed,
                                rate_multiplier=args.rate_multiplier or 1.0,
-                               burst=args.burst or 1.0)
+                               burst=args.burst or 1.0, tuned=tuned)
         print(exp.report.format_report())
         print(" ", exp.summary())
         _write(args.csv, "serve_jobs.csv", exp.report.jobs_csv())
@@ -247,7 +293,6 @@ def main(argv: list[str] | None = None) -> int:
                   "answers diverged")
             return 1
         if args.serve_baseline:
-            import json
             with open(args.serve_baseline) as fh:
                 baseline_doc = json.load(fh)
             drift = serve_drift(doc, baseline_doc,
@@ -288,8 +333,6 @@ def main(argv: list[str] | None = None) -> int:
                   f"required {args.min_speedup:.2f}x")
             return 1
         if args.baseline:
-            import json
-
             from repro.bench.wallclock import baseline_problems
             with open(args.baseline) as fh:
                 baseline_doc = json.load(fh)
@@ -317,6 +360,24 @@ def main(argv: list[str] | None = None) -> int:
             print("  FAIL: sanitizer findings or identity mismatch on "
                   "clean kernels")
             return 1
+
+    if "tune" in commands:
+        from repro.bench.autotune import run_sweep
+        from repro.bench.sweepconfig import load_sweep_config
+        print("\n=== autotune — config-driven sweep ===")
+        config_path = args.config or "configs/sweep.toml"
+        config = load_sweep_config(config_path)
+        print(f"  config: {config_path}")
+        report = run_sweep(config,
+                           progress=lambda r: print("  " + r.summary(),
+                                                    flush=True))
+        print(report.summary())
+        if config.emit_tuned:
+            path = report.write_tuned(config.emit_tuned)
+            print(f"  wrote {path}")
+        _write(args.csv, "tuned.json",
+               json.dumps(report.tuned_doc(), indent=2, sort_keys=True)
+               + "\n")
 
     if "baselines" in commands:
         print("\n=== Sections II-A / V baselines & approximations ===")

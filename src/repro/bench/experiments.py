@@ -201,17 +201,26 @@ def grid_search(graph: EdgeArray,
                 bps_values: tuple[int, ...] = (1, 2, 8, 16),
                 ) -> GridSearchResult:
     """E9: sweep the launch configuration (paper sweeps 32–1024 × 1–16
-    and lands on 64 × 8 ⇒ 512 threads/SM on every device)."""
+    and lands on 64 × 8 ⇒ 512 threads/SM on every device).
+
+    A thin wrapper over the autotuner's measurement path
+    (:func:`repro.bench.autotune.measure_launch_grid`): the hard-coded
+    paper grid and any ``configs/sweep.toml`` grid run through the same
+    code, so the E9 numbers are one declared config away from any wider
+    sweep (see docs/reproducibility.md).
+    """
+    from repro.bench.autotune import measure_launch_grid
+    from repro.bench.sweepconfig import SweepPoint
+
+    points = [SweepPoint(device=device.name, kernel="merge",
+                         engine="compacted", threads_per_block=tpb,
+                         blocks_per_sm=bps, scale=1.0)
+              for tpb in tpb_values for bps in bps_values]
+    rows, _skipped = measure_launch_grid(graph, device, points)
     result = GridSearchResult(device=device)
-    for tpb in tpb_values:
-        for bps in bps_values:
-            launch = LaunchConfig(tpb, bps)
-            try:
-                launch.validate(device)
-            except ReproError:
-                continue
-            ms = _kernel_ms(graph, device, GpuOptions(launch=launch))
-            result.points[(tpb, bps)] = ms
+    for row in rows:
+        result.points[(row.point.threads_per_block,
+                       row.point.blocks_per_sm)] = row.kernel_ms
     return result
 
 
@@ -374,7 +383,8 @@ def serve_experiment(fleet_spec: str = "gtx980x4",
                      rate_per_s: float = 2.0,
                      seed: int = 0,
                      rate_multiplier: float = 1.0,
-                     burst: float = 1.0) -> ServeExperiment:
+                     burst: float = 1.0,
+                     tuned=None) -> ServeExperiment:
     """Replay a deterministic trace against a simulated fleet.
 
     Runs three replays of the *same* trace: a fault-free pass to locate
@@ -382,6 +392,11 @@ def serve_experiment(fleet_spec: str = "gtx980x4",
     cache-enabled pass with that failure (the faulted job retries on
     another device with an identical count), and a cache-disabled pass
     for the service-time comparison.
+
+    ``tuned`` is an optional :class:`repro.serve.tuned.TunedConfigs`
+    (e.g. loaded from ``configs/tuned.json``) applied to every replay;
+    per the tuned contract it shifts simulated timings, never counts, so
+    the fault-retry identity assertion below holds with or without it.
     """
     from repro.serve import (Fleet, TraceConfig, build_graph_pool,
                              generate_trace, serve_trace, size_fleet_memory)
@@ -400,7 +415,7 @@ def serve_experiment(fleet_spec: str = "gtx980x4",
         if inject is not None:
             fleet.inject_failure(*inject)
         return serve_trace(fleet, generate_trace(config, pool),
-                           cache_enabled=cache)
+                           cache_enabled=cache, tuned=tuned)
 
     # Fault-free scout pass: aim the failure mid-window of a fast-path
     # job so the retry machinery provably engages.

@@ -44,6 +44,34 @@ FAIL_FIRST = 0.20
 FAIL_LAST = 0.65
 
 
+def report_doc(rep: ServeReport) -> dict:
+    """JSON-ready metrics of one :class:`ServeReport` (simulated numbers
+    only — deterministic for a fixed trace; shared with the
+    reproduction bundle's summary)."""
+    return {
+        "jobs": len(rep.jobs),
+        "done": len(rep.done),
+        "done_exact": len([j for j in rep.done
+                           if j.tier != TIER_APPROX]),
+        "degraded": len(rep.degraded),
+        "shed_unanswered": len(rep.shed),
+        "lost": len(rep.lost),
+        "unanswered": len(rep.shed) + len(rep.lost),
+        "faults": rep.faults,
+        "fallbacks": rep.fallbacks,
+        "deadline_misses": rep.deadline_misses,
+        "p50_ms": rep.p50_ms,
+        "p95_ms": rep.p95_ms,
+        "p99_ms": rep.p99_ms,
+        "cache_hit_rate": rep.cache_hit_rate,
+        "launches": rep.launches,
+        "batched_launches": rep.batched_launches,
+        "batched_jobs": rep.batched_jobs,
+        "replications": rep.replications,
+        "approx_mean_rel_error": rep.approx_mean_rel_error,
+    }
+
+
 def failure_schedule(num_devices: int,
                      duration_ms: float) -> list[tuple[int, float]]:
     """Staggered whole-fleet failure times, ``(device_index, at_ms)``."""
@@ -75,29 +103,7 @@ class ServeScaleResult:
 
     @staticmethod
     def _report_doc(rep: ServeReport) -> dict:
-        err = rep.approx_mean_rel_error
-        return {
-            "jobs": len(rep.jobs),
-            "done": len(rep.done),
-            "done_exact": len([j for j in rep.done
-                               if j.tier != TIER_APPROX]),
-            "degraded": len(rep.degraded),
-            "shed_unanswered": len(rep.shed),
-            "lost": len(rep.lost),
-            "unanswered": len(rep.shed) + len(rep.lost),
-            "faults": rep.faults,
-            "fallbacks": rep.fallbacks,
-            "deadline_misses": rep.deadline_misses,
-            "p50_ms": rep.p50_ms,
-            "p95_ms": rep.p95_ms,
-            "p99_ms": rep.p99_ms,
-            "cache_hit_rate": rep.cache_hit_rate,
-            "launches": rep.launches,
-            "batched_launches": rep.batched_launches,
-            "batched_jobs": rep.batched_jobs,
-            "replications": rep.replications,
-            "approx_mean_rel_error": err,
-        }
+        return report_doc(rep)
 
     def doc(self) -> dict:
         """JSON-ready document (the committed ``BENCH_serve.json``)."""

@@ -18,14 +18,15 @@ from repro.runtime.launch import (PHASE_D2H, PHASE_FREE, PHASE_H2D,
                                   PHASE_KERNEL, KernelLaunch, LaunchPlan,
                                   build_engine, dispatch_kernel, launch)
 from repro.runtime.spec import (LOCAL, MERGE, WARP_INTERSECT, KernelSpec,
-                                get_kernel, kernel_names, register,
+                                get_kernel, kernel_names,
+                                kernel_option_field, register,
                                 resolve_kernel, spec_for_options)
 from repro.runtime.stream import (DEFAULT_STREAM, StreamEvent,
                                   StreamTimeline)
 
 __all__ = [
     "KernelSpec", "register", "get_kernel", "kernel_names",
-    "resolve_kernel", "spec_for_options",
+    "resolve_kernel", "spec_for_options", "kernel_option_field",
     "MERGE", "WARP_INTERSECT", "LOCAL",
     "LaunchPlan", "KernelLaunch", "launch", "dispatch_kernel",
     "build_engine",

@@ -211,10 +211,12 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--help"])
 
-    def test_rejects_unknown_command(self):
+    def test_rejects_unknown_command(self, capsys):
+        # Not a SystemExit: the CLI prints the valid command list and
+        # returns 2 (see tests/test_reproduce.py::TestCli).
         from repro.bench.cli import main
-        with pytest.raises(SystemExit):
-            main(["frobnicate"])
+        assert main(["frobnicate"]) == 2
+        assert "valid commands:" in capsys.readouterr().err
 
     def test_baselines_command_runs(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.125")
