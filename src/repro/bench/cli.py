@@ -37,8 +37,8 @@ from repro.runtime import kernel_names
 
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
-             "sweep", "serve", "serve-scale", "wallclock", "sanitize",
-             "tune", "reproduce", "all")
+             "sweep", "serve", "serve-scale", "wallclock", "overlap",
+             "sanitize", "tune", "reproduce", "all")
 #: ``all`` expands to every experiment except the bundle (which would
 #: re-run everything a second time into ``artifacts/``).
 _ALL_EXCLUDES = ("all", "reproduce")
@@ -84,8 +84,8 @@ def _parser() -> argparse.ArgumentParser:
                    help="serve-scale: allowed plane-p99 drift factor vs "
                         "the baseline (default: %(default)s)")
     p.add_argument("--out", metavar="FILE",
-                   help="wallclock: also write the report as JSON "
-                        "(e.g. BENCH_kernel.json)")
+                   help="wallclock/overlap/serve-scale: also write the "
+                        "report as JSON (e.g. BENCH_kernel.json)")
     p.add_argument("--repeats", type=int, default=3, metavar="N",
                    help="wallclock: timed runs per engine per row "
                         "(default: %(default)s)")
@@ -98,12 +98,23 @@ def _parser() -> argparse.ArgumentParser:
                    help="wallclock: exit nonzero if any row's "
                         "compacted-vs-lockstep speedup is below X")
     p.add_argument("--baseline", metavar="FILE",
-                   help="wallclock: committed BENCH_kernel.json to compare "
-                        "speedup ratios against (overhead/drift guard)")
+                   help="wallclock/overlap: committed BENCH_*.json to "
+                        "regression-check against (speedup drift for "
+                        "wallclock, exact simulated ms for overlap)")
     p.add_argument("--baseline-tolerance", type=float, default=1.5,
                    metavar="X",
                    help="wallclock: allowed speedup drift factor vs the "
                         "baseline (default: %(default)s)")
+    p.add_argument("--drift", type=float, default=0.10, metavar="X",
+                   help="overlap: allowed relative gap between the "
+                        "executed makespan and the modeled pipelined_ms "
+                        "(default: %(default)s)")
+    p.add_argument("--min-savings", type=float, default=None, metavar="X",
+                   help="overlap: exit nonzero if any pipeline row's "
+                        "executed savings fraction is below X")
+    p.add_argument("--chunks", type=int, default=8, metavar="N",
+                   help="overlap: chunk count of the executed pipeline "
+                        "(default: %(default)s)")
     p.add_argument("--strict", action="store_true",
                    help="sanitize: run the matrix in strict mode (typed "
                         "errors at the first finding)")
@@ -346,6 +357,43 @@ def main(argv: list[str] | None = None) -> int:
                 return 1
             print(f"  baseline check passed ({args.baseline}, "
                   f"tolerance {args.baseline_tolerance:g}x)")
+
+    if "overlap" in commands:
+        from repro.bench.overlap import run_overlap
+        print("\n=== executed overlap — measured schedule vs model ===")
+        report = run_overlap(chunks=args.chunks, seed=args.seed,
+                             progress=lambda r: print("  " + r.summary(),
+                                                      flush=True))
+        print(f"  max model drift: {report.max_drift * 100:.2f}%   "
+              f"min savings: {report.min_savings_frac * 100:.2f}%")
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(report.json_str())
+            print(f"  wrote {args.out}")
+        _write(args.csv, "overlap.json", report.json_str())
+        gate_problems = report.problems(drift=args.drift)
+        for p in gate_problems:
+            print("  gate-check:", p)
+        if gate_problems:
+            print("  FAIL: executed-overlap contracts violated")
+            return 1
+        if (args.min_savings is not None
+                and report.min_savings_frac < args.min_savings):
+            print(f"  FAIL: min savings {report.min_savings_frac:.4f} "
+                  f"below required {args.min_savings:g}")
+            return 1
+        if args.baseline:
+            from repro.bench.overlap import baseline_problems as ov_drift
+            with open(args.baseline) as fh:
+                baseline_doc = json.load(fh)
+            ov_problems = ov_drift(report, baseline_doc)
+            for p in ov_problems:
+                print("  baseline-check:", p)
+            if ov_problems:
+                print(f"  FAIL: simulated schedule diverged from "
+                      f"{args.baseline}")
+                return 1
+            print(f"  baseline check passed ({args.baseline})")
 
     if "sanitize" in commands:
         from repro.sanitize.matrix import run_sanitize_matrix

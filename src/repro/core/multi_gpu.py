@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.forward_gpu import GpuRunResult
 from repro.core.options import GpuOptions
 from repro.core.preprocess import PreprocessResult, preprocess
-from repro.errors import ReproError
+from repro.errors import ContextMismatchError, ReproError
 from repro.graphs.edgearray import EdgeArray
 from repro.gpusim import thrustlike
 from repro.gpusim.device import DeviceSpec, TESLA_C2050
@@ -25,40 +25,61 @@ from repro.runtime import (LaunchPlan, StreamTimeline, launch,
                            spec_for_options)
 from repro.types import COUNT_DTYPE
 
+#: Valid multi-GPU exchange schedules (see :mod:`repro.gpusim.multigpu`).
+EXCHANGE_MODES = ("broadcast", "ring")
+
 
 def multi_gpu_count_triangles(graph: EdgeArray,
                               device: DeviceSpec = TESLA_C2050,
                               num_gpus: int = 4,
                               options: GpuOptions = GpuOptions(),
                               context: MultiGpuContext | None = None,
+                              exchange: str = "broadcast",
                               ) -> GpuRunResult:
     """Count triangles on ``num_gpus`` identical simulated devices.
+
+    ``exchange`` selects the copy schedule: ``"broadcast"`` (default) is
+    the paper's one-source scheme and keeps the reported serial totals
+    the paper's protocol; ``"ring"`` is the chunked store-and-forward
+    exchange whose per-link pipelining shows up in the timeline's
+    measured ``makespan_ms``.  Triangle counts and kernel counters are
+    identical between the two (the exchange only moves bytes).
 
     Returns a :class:`GpuRunResult` whose ``kernel_report``/``timing``
     are the *slowest* device's (it decides the counting phase) and whose
     ``per_device`` list carries every card's (report, timing) pair.
     """
+    if exchange not in EXCHANGE_MODES:
+        raise ReproError(f"exchange must be one of {EXCHANGE_MODES}, "
+                         f"got {exchange!r}")
     if context is None:
         context = MultiGpuContext(device, num_gpus)
     elif context.count != num_gpus or context.device.name != device.name:
-        raise ReproError("context does not match device/num_gpus")
+        raise ContextMismatchError(actual_device=context.device.name,
+                                   expected_device=device.name,
+                                   actual_count=context.count,
+                                   expected_count=num_gpus)
 
     timeline = StreamTimeline()
     pre = preprocess(graph, device, context.primary, timeline, options)
 
-    # Broadcast the preprocessed structures (device 0 already holds
-    # them).  Each destination card has its own PCIe lane in the model,
-    # so the context places device d's copies on stream 1+d — reported
-    # totals stay the paper's serial protocol, and the stream schedule
-    # (timeline.overlap_savings_ms) says what concurrent copies buy.
+    # Exchange the preprocessed structures (device 0 already holds
+    # them).  In broadcast mode each destination card has its own PCIe
+    # lane in the model, so the context places device d's copies on
+    # stream 1+d — reported totals stay the paper's serial protocol, and
+    # the stream schedule (timeline.overlap_savings_ms) says what
+    # concurrent copies buy.  Ring mode forwards chunks card-to-card on
+    # per-link streams with wait_for dependency edges instead.
+    copy = (context.ring_broadcast if exchange == "ring"
+            else context.broadcast)
     if pre.aos is None:
-        adj_all = context.broadcast(pre.adj, timeline)
-        keys_all = context.broadcast(pre.keys, timeline)
+        adj_all = copy(pre.adj, timeline)
+        keys_all = copy(pre.keys, timeline)
         aos_all = [None] * num_gpus
     else:
-        aos_all = context.broadcast(pre.aos, timeline)
+        aos_all = copy(pre.aos, timeline)
         adj_all = keys_all = [None] * num_gpus
-    node_all = context.broadcast(pre.node, timeline)
+    node_all = copy(pre.node, timeline)
     timeline.barrier()   # kernels wait for their card's copies
 
     ranges = context.partition_ranges(pre.num_forward_arcs)

@@ -118,6 +118,30 @@ def preprocess(graph: EdgeArray,
                                         options, cpu)
 
 
+def device_sort(device: DeviceSpec, memory: DeviceMemory, timeline: Timeline,
+                options: GpuOptions, packed: DeviceBuffer) -> None:
+    """Step 3, shared by every path (including the executed pipeline in
+    :mod:`repro.runtime.pipeline`): allocate the radix sort's scratch
+    double buffer, sort the packed words per ``options.sort_as_u64``,
+    free the scratch.  In place on ``packed``; the scratch allocation is
+    part of the device-address contract (it moves every later buffer's
+    address when it grows), which is why callers must not inline it."""
+    temp = memory.alloc_empty("sort_temp",
+                              int(packed.nbytes * SORT_TEMP_FACTOR) // 8 + 1,
+                              np.uint64)
+    if options.sort_as_u64:
+        thrustlike.sort_u64(device, packed, timeline)
+    else:
+        # Comparison sort on pairs; same (second, first) order so the rest
+        # of the pipeline is layout-identical — only the cost differs.
+        sf, ss = unpack_edges(packed.data)
+        tmp_first = DeviceBuffer("pair_first", sf, packed.device_addr)
+        tmp_second = DeviceBuffer("pair_second", ss, packed.device_addr)
+        thrustlike.sort_pairs(device, tmp_second, tmp_first, timeline)
+        packed.data[:] = np.sort(packed.data)
+    memory.free(temp)
+
+
 # ---------------------------------------------------------------------- #
 # the direct (all-GPU) path — steps 1..8
 # ---------------------------------------------------------------------- #
@@ -145,20 +169,7 @@ def _preprocess_on_device(graph: EdgeArray, device: DeviceSpec,
 
     # Step 3 — sort.  The radix path needs its double buffer; this is the
     # allocation that triggers the † fallback on memory-pressed cards.
-    temp = memory.alloc_empty("sort_temp",
-                              int(packed.nbytes * SORT_TEMP_FACTOR) // 8 + 1,
-                              np.uint64)
-    if options.sort_as_u64:
-        thrustlike.sort_u64(device, packed, timeline)
-    else:
-        # Comparison sort on pairs; same (second, first) order so the rest
-        # of the pipeline is layout-identical — only the cost differs.
-        sf, ss = unpack_edges(packed.data)
-        tmp_first = DeviceBuffer("pair_first", sf, packed.device_addr)
-        tmp_second = DeviceBuffer("pair_second", ss, packed.device_addr)
-        thrustlike.sort_pairs(device, tmp_second, tmp_first, timeline)
-        packed.data[:] = np.sort(packed.data)
-    memory.free(temp)
+    device_sort(device, memory, timeline, options, packed)
 
     first, second = unpack_edges(packed.data)
 
@@ -213,18 +224,7 @@ def _preprocess_cpu_fallback(graph: EdgeArray, device: DeviceSpec,
     timeline.add("h2d edge array (forward only)",
                  memory.h2d_ms(packed.nbytes), phase="copy")
 
-    temp = memory.alloc_empty("sort_temp",
-                              int(packed.nbytes * SORT_TEMP_FACTOR) // 8 + 1,
-                              np.uint64)
-    if options.sort_as_u64:
-        thrustlike.sort_u64(device, packed, timeline)
-    else:
-        sf, ss = unpack_edges(packed.data)
-        tmp_first = DeviceBuffer("pair_first", sf, packed.device_addr)
-        tmp_second = DeviceBuffer("pair_second", ss, packed.device_addr)
-        thrustlike.sort_pairs(device, tmp_second, tmp_first, timeline)
-        packed.data[:] = np.sort(packed.data)
-    memory.free(temp)
+    device_sort(device, memory, timeline, options, packed)
 
     first_s, second_s = unpack_edges(packed.data)
     result = _finalize_layout(device, memory, timeline, options,

@@ -49,6 +49,30 @@ class OutOfDeviceMemoryError(DeviceError):
         super().__init__(message)
 
 
+class ContextMismatchError(DeviceError):
+    """A supplied :class:`~repro.gpusim.multigpu.MultiGpuContext` does
+    not match the requested device model / card count.
+
+    Attributes
+    ----------
+    actual_device, expected_device : str
+        Device-spec name the context holds vs the one requested.
+    actual_count, expected_count : int
+        Card count the context holds vs the one requested.
+    """
+
+    def __init__(self, actual_device: str, expected_device: str,
+                 actual_count: int, expected_count: int):
+        self.actual_device = actual_device
+        self.expected_device = expected_device
+        self.actual_count = int(actual_count)
+        self.expected_count = int(expected_count)
+        super().__init__(
+            f"multi-GPU context mismatch: context holds "
+            f"{self.actual_count}x {actual_device!r}, but the call asked "
+            f"for {self.expected_count}x {expected_device!r}")
+
+
 class InvalidLaunchError(DeviceError):
     """A kernel launch configuration violates device limits.
 

@@ -17,11 +17,13 @@ Layering (see docs/architecture.md)::
 from repro.runtime.launch import (PHASE_D2H, PHASE_FREE, PHASE_H2D,
                                   PHASE_KERNEL, KernelLaunch, LaunchPlan,
                                   build_engine, dispatch_kernel, launch)
+from repro.runtime.pipeline import (PipelinedPlan, pipelined_cpu_preprocess,
+                                    pipelined_launch)
 from repro.runtime.spec import (LOCAL, MERGE, WARP_INTERSECT, KernelSpec,
                                 get_kernel, kernel_names,
                                 kernel_option_field, register,
                                 resolve_kernel, spec_for_options)
-from repro.runtime.stream import (DEFAULT_STREAM, StreamEvent,
+from repro.runtime.stream import (DEFAULT_STREAM, StreamDep, StreamEvent,
                                   StreamTimeline)
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "MERGE", "WARP_INTERSECT", "LOCAL",
     "LaunchPlan", "KernelLaunch", "launch", "dispatch_kernel",
     "build_engine",
+    "PipelinedPlan", "pipelined_launch", "pipelined_cpu_preprocess",
     "PHASE_H2D", "PHASE_KERNEL", "PHASE_D2H", "PHASE_FREE",
-    "StreamTimeline", "StreamEvent", "DEFAULT_STREAM",
+    "StreamTimeline", "StreamEvent", "StreamDep", "DEFAULT_STREAM",
 ]

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.gpusim.memory import DeviceBuffer, DeviceMemory
 from repro.gpusim.simt import KernelReport, SimtEngine
 from repro.gpusim.timing import KernelTiming, Timeline, time_kernel
 from repro.runtime.spec import KernelResult, KernelSpec, resolve_kernel
-from repro.runtime.stream import StreamTimeline
+from repro.runtime.stream import DEFAULT_STREAM, StreamTimeline
 from repro.types import COUNT_DTYPE
 
 if TYPE_CHECKING:
@@ -136,6 +136,19 @@ class LaunchPlan:
     reduce_timeline: bool = True
     d2h_events: bool = True
     free_all: bool = True
+    #: Alternative preprocessing entry point with the same signature as
+    #: :func:`repro.core.preprocess.preprocess` (graph, device, memory,
+    #: timeline, options).  The executed pipeline
+    #: (:mod:`repro.runtime.pipeline`) swaps in its chunked ``†``
+    #: scheduler here; allocation order — result buffer first, then the
+    #: preprocessing buffers — is preserved either way, which is what
+    #: keeps device addresses (and cache counters) bit-identical.
+    preprocess_fn: Callable[..., PreprocessResult] | None = None
+    #: Stamp the result readback on this stream (after a ``wait_for``
+    #: join edge on the default stream) instead of inline on stream 0.
+    #: Needs a :class:`StreamTimeline`; ``None`` keeps the serial
+    #: protocol's placement.
+    d2h_stream: int | None = None
 
 
 @dataclass
@@ -213,7 +226,9 @@ def launch(plan: LaunchPlan) -> KernelLaunch:
         if pre is None:
             t0 = perf_counter() if prof is not None else 0.0
             assert plan.graph is not None
-            pre = preprocess(plan.graph, device, memory, timeline, options)
+            pre_fn = plan.preprocess_fn if plan.preprocess_fn is not None \
+                else preprocess
+            pre = pre_fn(plan.graph, device, memory, timeline, options)
             if prof is not None:
                 prof.add(PHASE_H2D, perf_counter() - t0)
 
@@ -232,18 +247,34 @@ def launch(plan: LaunchPlan) -> KernelLaunch:
         if total != kres.triangles:
             raise ReproError("device reduce disagrees with kernel counts "
                              f"({total} vs {kres.triangles})")
+        d2h_stream = plan.d2h_stream
+        if d2h_stream is not None and not isinstance(timeline,
+                                                     StreamTimeline):
+            raise ReproError("LaunchPlan.d2h_stream needs a StreamTimeline "
+                             f"(got {type(timeline).__name__})")
+
+        def record_d2h(name: str, ms: float) -> None:
+            # Same event name/phase either way — serial totals stay the
+            # paper's protocol; only the stream placement differs.
+            if d2h_stream is None:
+                timeline.add(name, ms, phase="reduce")
+                return
+            assert isinstance(timeline, StreamTimeline)
+            # The readback depends on the reduce that just landed on
+            # the default stream; the join edge records it.
+            timeline.wait_for(d2h_stream, DEFAULT_STREAM)
+            timeline.add_on(name, ms, phase="reduce", stream=d2h_stream)
+
         per_vertex_host = None
         if per_vertex_buf is not None:
             # d2h readback of the accumulator (host phase, not kernel code).
             per_vertex_host = per_vertex_buf.data[:num_vertices].copy()  # san-ok: SAN101
             if plan.d2h_events:
-                timeline.add("d2h per-vertex counts",
-                             memory.d2h_ms(per_vertex_host.nbytes),
-                             phase="reduce")
+                record_d2h("d2h per-vertex counts",
+                           memory.d2h_ms(per_vertex_host.nbytes))
         elif plan.d2h_events:
-            timeline.add("d2h result",
-                         memory.d2h_ms(np.dtype(COUNT_DTYPE).itemsize),
-                         phase="reduce")
+            record_d2h("d2h result",
+                       memory.d2h_ms(np.dtype(COUNT_DTYPE).itemsize))
         if prof is not None:
             prof.add(PHASE_D2H, perf_counter() - t0)
         if plan.free_all:

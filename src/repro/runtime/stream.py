@@ -25,6 +25,19 @@ destination card's broadcast copies on stream ``1 + d`` (they share no
 resource in the model — each card has its own PCIe lane), and
 :meth:`pipelined_ms` models double-buffering the ``†`` CPU-preprocessing
 host passes against the H2D copies without re-running anything.
+
+Executed schedules (``repro.runtime.pipeline``, the multi-GPU ring
+exchange) additionally record cross-stream *dependency edges* via
+:meth:`StreamTimeline.wait_for` — the ``cudaStreamWaitEvent`` analogue.
+An edge advances the waiting stream's clock to everything already
+issued on the upstream stream, so :attr:`makespan_ms` of such a
+timeline is the measured end-to-end time of the actual dependency
+schedule, not a phase-sum what-if.  Every recorded edge is kept in
+:attr:`StreamTimeline.stream_deps` for inspection.
+
+The cursor dict itself is an internal invariant (fork points, barrier
+advancement); outside ``repro/runtime`` use :meth:`stream_time` /
+:meth:`wait_for` — repro-lint SAN105 flags direct ``_cursors`` access.
 """
 
 from __future__ import annotations
@@ -52,6 +65,17 @@ class StreamEvent:
         return self.start_ms + self.ms
 
 
+@dataclass(frozen=True)
+class StreamDep:
+    """One cross-stream dependency edge (``cudaStreamWaitEvent``):
+    ``stream``'s next event starts no earlier than ``at_ms``, the
+    ``upstream`` clock when the edge was recorded."""
+
+    stream: int
+    upstream: int
+    at_ms: float
+
+
 @dataclass
 class StreamTimeline(Timeline):
     """A :class:`Timeline` that also keeps a stream/event schedule.
@@ -61,6 +85,7 @@ class StreamTimeline(Timeline):
     """
 
     stream_events: list[StreamEvent] = field(default_factory=list)
+    stream_deps: list[StreamDep] = field(default_factory=list)
     _cursors: dict[int, float] = field(default_factory=dict)
 
     def add(self, name: str, ms: float, phase: str = "preprocess") -> None:
@@ -70,18 +95,47 @@ class StreamTimeline(Timeline):
                stream: int = DEFAULT_STREAM) -> None:
         """Record an event on ``stream`` (0 = host program order)."""
         super().add(name, ms, phase=phase)
-        if stream not in self._cursors:
-            # Fork point: a stream cannot start before the issuing host
-            # reaches it, i.e. the default stream's current time.
-            self._cursors[stream] = self._cursors.get(DEFAULT_STREAM, 0.0)
-        start = self._cursors[stream]
+        start = self.stream_time(stream)
         self.stream_events.append(StreamEvent(
             name=name, ms=ms, phase=phase, stream=stream, start_ms=start))
         self._cursors[stream] = start + ms
 
+    def stream_time(self, stream: int = DEFAULT_STREAM) -> float:
+        """Current clock of ``stream``.
+
+        A stream that has never been used reads at its fork point — the
+        default stream's current time (you cannot overlap with work the
+        host has not issued yet).  This is the sanctioned accessor;
+        ``_cursors`` itself is internal (repro-lint SAN105).
+        """
+        if stream in self._cursors:
+            return self._cursors[stream]
+        return self._cursors.get(DEFAULT_STREAM, 0.0)
+
+    def wait_for(self, stream: int, upstream: int) -> StreamDep:
+        """Record a dependency edge: ``stream`` waits for everything
+        already issued on ``upstream`` (``cudaStreamWaitEvent`` on an
+        event recorded at the upstream's current position).
+
+        Advances ``stream``'s clock to ``max(own, upstream)`` — later
+        ``add_on`` calls on ``stream`` start after the upstream work —
+        and returns the recorded :class:`StreamDep`.
+        """
+        at = self.stream_time(upstream)
+        self._cursors[stream] = max(self.stream_time(stream), at)
+        dep = StreamDep(stream=stream, upstream=upstream, at_ms=at)
+        self.stream_deps.append(dep)
+        return dep
+
     def barrier(self) -> None:
-        """Synchronize every stream's clock to the makespan."""
+        """Synchronize every stream's clock to the makespan.
+
+        The default stream's cursor is advanced even when it was never
+        explicitly used — otherwise a stream forked *after* the barrier
+        would start at the pre-barrier default clock (frozen at 0.0 for
+        a timeline whose events all sat on named streams)."""
         high = self.makespan_ms
+        self._cursors[DEFAULT_STREAM] = high
         for stream in self._cursors:
             self._cursors[stream] = high
 

@@ -41,6 +41,16 @@ SAN104
     lifecycle or :func:`repro.runtime.build_engine` when a harness
     times the kernel body itself.
 
+SAN105
+    Direct ``._cursors`` access outside ``repro/runtime``.  The stream
+    cursor dict is :class:`~repro.runtime.stream.StreamTimeline`'s
+    internal invariant (fork-point semantics, barrier advancement,
+    dependency-edge bookkeeping); code that reads or pokes it directly
+    can silently break the executed schedules' measured ``makespan_ms``.
+    Use :meth:`~repro.runtime.stream.StreamTimeline.stream_time` to read
+    a stream clock and :meth:`~repro.runtime.stream.StreamTimeline.
+    wait_for` to record ordering.
+
 Suppressions
 ------------
 ``# san-ok: SAN101`` on the flagged line waives that rule there;
@@ -66,6 +76,7 @@ RULES = {
     "SAN102": "engine read without end_step/end_step_warps in its scope",
     "SAN103": "legacy np.random API outside repro.graphs.generators",
     "SAN104": "direct SimtEngine construction outside repro.gpusim/runtime",
+    "SAN105": "StreamTimeline._cursors accessed outside repro.runtime",
 }
 
 _ALLOC_METHODS = {"alloc", "alloc_empty", "try_alloc"}
@@ -292,6 +303,20 @@ def _check_san104(path: str, tree: ast.Module) -> list[LintFinding]:
     return out
 
 
+def _check_san105(path: str, tree: ast.Module) -> list[LintFinding]:
+    out = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Attribute)
+                and node.attr == "_cursors"):
+            continue
+        out.append(LintFinding(
+            path, node.lineno, node.col_offset, "SAN105",
+            "._cursors is StreamTimeline-internal state; use "
+            "stream_time() to read a stream clock and wait_for() to "
+            "record ordering"))
+    return out
+
+
 def _check_san103(path: str, tree: ast.Module) -> list[LintFinding]:
     out = []
     for node in ast.walk(tree):
@@ -327,6 +352,7 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
     skip_san101 = "gpusim" in parts or "sanitize" in parts
     skip_san103 = "generators" in parts
     skip_san104 = "gpusim" in parts or "runtime" in parts
+    skip_san105 = "runtime" in parts
 
     findings: list[LintFinding] = []
     scopes: list[ast.AST | list[ast.AST]] = [_module_scope_roots(tree)]
@@ -340,6 +366,8 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
         findings += _check_san103(path, tree)
     if not skip_san104:
         findings += _check_san104(path, tree)
+    if not skip_san105:
+        findings += _check_san105(path, tree)
 
     findings = [f for f in findings
                 if f.rule not in module_allow
@@ -367,7 +395,7 @@ def lint_paths(paths: list[str]) -> list[LintFinding]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Static simulator-invariant checks (SAN101-SAN104).")
+        description="Static simulator-invariant checks (SAN101-SAN105).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--list-rules", action="store_true",

@@ -40,6 +40,12 @@ class PlaneConfig:
     replicas: int = 2
     #: queries of a key before it counts as hot.
     hot_threshold: int = 3
+    #: replica-copy schedule: ``"broadcast"`` sources every copy from
+    #: the one holder; ``"ring"`` forwards holder-to-holder (each new
+    #: replica sources from the previous one as soon as it has the
+    #: bytes — the store-and-forward exchange of
+    #: :mod:`repro.gpusim.multigpu`, applied to the fleet timing model).
+    exchange: str = "broadcast"
     #: coalesce same-key ready jobs into shared launches.
     batching: bool = True
     max_batch: int = 8
@@ -62,6 +68,10 @@ class PlaneConfig:
             raise ReproError(
                 f"approx_method must be one of {APPROX_METHODS}, "
                 f"got {self.approx_method!r}")
+        if self.exchange not in ReplicaManager.EXCHANGE_MODES:
+            raise ReproError(
+                f"exchange must be one of {ReplicaManager.EXCHANGE_MODES}, "
+                f"got {self.exchange!r}")
 
 
 class ControlPlane:
@@ -74,7 +84,8 @@ class ControlPlane:
                                               config.default_slo_ms)
                           if config.admission else None)
         self.batcher = Batcher(config.max_batch) if config.batching else None
-        self.replicas = ReplicaManager(config.replicas, config.hot_threshold)
+        self.replicas = ReplicaManager(config.replicas, config.hot_threshold,
+                                       exchange=config.exchange)
         self.degraded = (DegradedTier(method=config.approx_method,
                                       p=config.approx_p,
                                       seed=config.approx_seed)

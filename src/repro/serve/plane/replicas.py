@@ -39,9 +39,19 @@ class ResidentEntry:
 class ReplicaManager:
     """Tracks per-key heat and maintains the pinned replica set."""
 
-    def __init__(self, k: int = 2, hot_threshold: int = 3):
+    #: Copy schedules (mirrors :data:`repro.core.multi_gpu.EXCHANGE_MODES`).
+    EXCHANGE_MODES = ("broadcast", "ring")
+
+    def __init__(self, k: int = 2, hot_threshold: int = 3,
+                 exchange: str = "broadcast"):
+        if exchange not in self.EXCHANGE_MODES:
+            from repro.errors import ReproError
+
+            raise ReproError(f"exchange must be one of "
+                             f"{self.EXCHANGE_MODES}, got {exchange!r}")
         self.k = max(int(k), 1)
         self.hot_threshold = max(int(hot_threshold), 1)
+        self.exchange = exchange
         self._requests: dict[tuple, int] = {}
         #: replica copies installed (the ``==SERVE==`` sheet reports it).
         self.replications = 0
@@ -72,6 +82,14 @@ class ReplicaManager:
         work; each pays the peer-copy busy window and charges the entry
         against its cache budget (a budget rejection skips that device).
         Returns the number of copies installed.
+
+        In ``"broadcast"`` mode (default) every copy sources from the
+        one holder and may start at ``t_ms`` — the one-source scheme.
+        In ``"ring"`` mode each new replica sources from the *previous*
+        one (store-and-forward): copy ``i+1`` cannot start before copy
+        ``i``'s bytes have arrived, but the source link is never asked
+        to feed two destinations at once — the fleet analogue of
+        :meth:`repro.gpusim.multigpu.MultiGpuContext.ring_broadcast`.
         """
         if self.k <= 1 or not self.is_hot(key):
             return 0
@@ -86,6 +104,7 @@ class ReplicaManager:
             (d for d in fleet.healthy(t_ms) if d.index not in have),
             key=lambda d: (d.outstanding_ms(t_ms), d.index))
         installed = 0
+        prev_arrival = t_ms        # ring mode: when the upstream copy lands
         for dev in candidates[:need]:
             dev.cache.insert(key, entry.nbytes, triangles=entry.triangles,
                              hit_service_ms=entry.hit_service_ms,
@@ -94,9 +113,11 @@ class ReplicaManager:
                 continue
             dev.cache.pin(key)
             copy_ms = entry.nbytes / (dev.spec.pcie_gbs * 1e9) * 1e3
-            start = max(dev.busy_until_ms, t_ms)
+            earliest = prev_arrival if self.exchange == "ring" else t_ms
+            start = max(dev.busy_until_ms, earliest)
             dev.busy_until_ms = start + copy_ms
             dev.busy_ms += copy_ms
+            prev_arrival = start + copy_ms
             installed += 1
             self.replications += 1
         return installed

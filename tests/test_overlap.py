@@ -1,0 +1,257 @@
+"""The executed async pipeline, the overlap bench harness, and the
+serve-plane ring wiring (the "make overlap real" tentpole)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.overlap import (OverlapReport, baseline_problems,
+                                 run_exchange_row, run_overlap,
+                                 run_pipeline_row)
+from repro.core.forward_gpu import gpu_count_triangles
+from repro.core.options import GpuOptions
+from repro.errors import ReproError
+from repro.gpusim.device import GTX_980
+from repro.gpusim.timing import Timeline
+from repro.runtime import (DEFAULT_STREAM, LaunchPlan, PipelinedPlan,
+                           StreamTimeline, launch, pipelined_launch)
+from repro.serve.fleet import Fleet
+from repro.serve.plane.control import PlaneConfig
+from repro.serve.plane.replicas import ReplicaManager, ResidentEntry
+
+GOLDEN_PATH = Path(__file__).parent / "golden_runtime_counters.json"
+
+#: The forced-† options both modes run under (the only regime the
+#: executed pipeline schedules differently).
+DAGGER = GpuOptions(cpu_preprocess="always")
+
+
+class TestPipelinedPlan:
+    def test_defaults_valid(self):
+        plan = PipelinedPlan()
+        assert plan.chunks == 8
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ReproError, match="chunks"):
+            PipelinedPlan(chunks=0)
+
+    def test_rejects_stream_collisions(self):
+        with pytest.raises(ReproError, match="distinct"):
+            PipelinedPlan(copy_stream=1, d2h_stream=1)
+        with pytest.raises(ReproError, match="distinct"):
+            PipelinedPlan(copy_stream=DEFAULT_STREAM)
+
+
+class TestPipelinedExecution:
+    def test_counts_and_counters_identical(self, any_graph, oracle):
+        serial = gpu_count_triangles(any_graph, options=DAGGER)
+        piped = gpu_count_triangles(any_graph, options=DAGGER,
+                                    mode="pipelined")
+        assert piped.triangles == serial.triangles == oracle(any_graph)
+        assert (piped.kernel_report.counters()
+                == serial.kernel_report.counters())
+
+    def test_serial_protocol_preserved(self, small_rmat):
+        """Reported totals and every phase sum are the paper's serial
+        protocol in both modes — the chunked events sum exactly."""
+        serial = gpu_count_triangles(small_rmat, options=DAGGER)
+        piped = gpu_count_triangles(small_rmat, options=DAGGER,
+                                    mode="pipelined")
+        assert piped.total_ms == pytest.approx(serial.total_ms)
+        for phase in ("preprocess", "copy", "count", "reduce"):
+            assert piped.timeline.phase_ms(phase) == pytest.approx(
+                serial.timeline.phase_ms(phase))
+
+    def test_makespan_measured_below_total(self, small_rmat):
+        piped = gpu_count_triangles(small_rmat, options=DAGGER,
+                                    mode="pipelined")
+        tl = piped.timeline
+        assert isinstance(tl, StreamTimeline)
+        assert tl.makespan_ms < tl.total_ms
+        assert tl.stream_deps           # real wait_for edges were recorded
+
+    def test_makespan_tracks_model(self, small_rmat):
+        """The executed schedule converges to the modeled pipelined_ms
+        (the drift gate BENCH_overlap.json commits at 10%)."""
+        serial = gpu_count_triangles(small_rmat, options=DAGGER)
+        piped = gpu_count_triangles(small_rmat, options=DAGGER,
+                                    mode="pipelined")
+        assert isinstance(serial.timeline, StreamTimeline)
+        model = serial.timeline.pipelined_ms()
+        measured = piped.timeline.makespan_ms
+        assert measured >= model - 1e-12   # model is the N→∞ limit
+        assert abs(measured - model) / model <= 0.10
+
+    def test_more_chunks_converge_toward_model(self, small_rmat):
+        serial = gpu_count_triangles(small_rmat, options=DAGGER)
+        assert isinstance(serial.timeline, StreamTimeline)
+        model = serial.timeline.pipelined_ms()
+        gaps = []
+        for chunks in (1, 4, 16):
+            piped = gpu_count_triangles(
+                small_rmat, options=DAGGER, mode="pipelined",
+                pipeline=PipelinedPlan(chunks=chunks))
+            gaps.append(piped.timeline.makespan_ms - model)
+        assert gaps[0] > gaps[1] > gaps[2] >= -1e-12
+
+    def test_d2h_rides_its_own_stream(self, small_rmat):
+        plan = PipelinedPlan()
+        piped = gpu_count_triangles(small_rmat, options=DAGGER,
+                                    mode="pipelined", pipeline=plan)
+        tl = piped.timeline
+        assert isinstance(tl, StreamTimeline)
+        streams = {e.stream for e in tl.stream_events}
+        assert {DEFAULT_STREAM, plan.copy_stream, plan.d2h_stream} <= streams
+        d2h = [e for e in tl.stream_events if e.name == "d2h result"]
+        assert d2h and d2h[0].stream == plan.d2h_stream
+
+    def test_forces_dagger_protocol(self, small_rmat):
+        piped = gpu_count_triangles(small_rmat, mode="pipelined")
+        assert piped.used_cpu_fallback
+        assert piped.options.cpu_preprocess == "always"
+
+    def test_rejects_never_preprocess(self, small_rmat):
+        with pytest.raises(ReproError, match="cpu_preprocess"):
+            gpu_count_triangles(small_rmat,
+                                options=GpuOptions(cpu_preprocess="never"),
+                                mode="pipelined")
+
+    def test_rejects_unknown_mode(self, small_rmat):
+        with pytest.raises(ReproError, match="serial.*pipelined"):
+            gpu_count_triangles(small_rmat, mode="async")
+
+    def test_pipelined_launch_needs_graph(self):
+        with pytest.raises(ReproError, match="graph"):
+            pipelined_launch(LaunchPlan(kernel="merge"))
+
+    def test_pipelined_launch_rejects_plain_timeline(self, small_rmat):
+        with pytest.raises(ReproError, match="StreamTimeline"):
+            pipelined_launch(LaunchPlan(kernel="merge", graph=small_rmat,
+                                        options=DAGGER,
+                                        timeline=Timeline()))
+
+    def test_d2h_stream_needs_stream_timeline(self, small_rmat):
+        with pytest.raises(ReproError, match="StreamTimeline"):
+            launch(LaunchPlan(kernel="merge", graph=small_rmat,
+                              timeline=Timeline(), d2h_stream=2))
+
+    def test_golden_pinned_identity(self, small_rmat):
+        """Both modes pinned to the committed golden cell: a mismatch
+        means a schedule change leaked into what the simulated GPU
+        observes."""
+        golden = json.loads(GOLDEN_PATH.read_text())["pipelined/dagger"]
+        for mode in ("serial", "pipelined"):
+            run = gpu_count_triangles(small_rmat, device=GTX_980,
+                                      options=DAGGER, mode=mode)
+            cell = {"triangles": run.triangles,
+                    "counters": json.loads(json.dumps(
+                        run.kernel_report.counters(), default=list))}
+            assert cell == golden, mode
+
+
+class TestOverlapBench:
+    def test_pipeline_row_gates(self):
+        row = run_pipeline_row("kron17")
+        assert row.identical and row.protocol_kept
+        assert row.makespan_ms <= row.total_ms
+        assert row.drift <= 0.10
+        assert row.savings_frac > 0.0
+
+    def test_exchange_row_gates(self):
+        row = run_exchange_row("kron17", 3)
+        assert row.identical
+        assert row.ring_wins
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError, match="unknown workload"):
+            run_pipeline_row("petersen")
+        with pytest.raises(ReproError, match="unknown workload"):
+            run_exchange_row("petersen", 2)
+
+    def test_report_round_trip_and_baseline(self):
+        report = run_overlap(pipeline_rows=("kron17",),
+                             exchange_rows=(("kron17", 3),))
+        assert report.problems() == []
+        doc = json.loads(report.json_str())
+        assert {r["kind"] for r in doc["rows"]} == {"pipeline", "exchange"}
+        # Self-comparison is exact; a perturbed baseline is flagged.
+        assert baseline_problems(report, doc) == []
+        doc["rows"][0]["makespan_ms"] *= 1.5
+        assert any("makespan_ms" in p
+                   for p in baseline_problems(report, doc))
+
+    def test_baseline_missing_row(self):
+        report = run_overlap(pipeline_rows=("kron17",), exchange_rows=())
+        problems = baseline_problems(report, {"rows": []})
+        assert any("no matching baseline row" in p for p in problems)
+
+    def test_committed_artifact_matches(self):
+        """The committed BENCH_overlap.json reproduces bit-for-bit
+        (simulated ms are deterministic)."""
+        path = Path(__file__).parent.parent / "BENCH_overlap.json"
+        committed = json.loads(path.read_text())
+        report = run_overlap(chunks=committed["chunks"],
+                             seed=committed["seed"])
+        assert baseline_problems(report, committed) == []
+        assert report.problems() == []
+
+
+class TestServeRingExchange:
+    """The fleet analogue: ReplicaManager's copy timing in ring mode
+    chains holder-to-holder instead of hammering the one source."""
+
+    KEY = ("graph", 0)
+    ENTRY = ResidentEntry(nbytes=1 << 20, triangles=7, hit_service_ms=0.5)
+
+    def _manager_and_fleet(self, exchange):
+        mgr = ReplicaManager(k=4, hot_threshold=1, exchange=exchange)
+        fleet = Fleet.homogeneous("gtx980", 4)
+        dev0 = fleet[0]
+        dev0.cache.insert(self.KEY, self.ENTRY.nbytes,
+                          triangles=self.ENTRY.triangles,
+                          hit_service_ms=self.ENTRY.hit_service_ms,
+                          now_ms=0.0)
+        mgr.note_requests(self.KEY)
+        return mgr, fleet
+
+    def test_rejects_unknown_exchange(self):
+        with pytest.raises(ReproError, match="broadcast.*ring"):
+            ReplicaManager(exchange="tree")
+        with pytest.raises(ReproError, match="broadcast.*ring"):
+            PlaneConfig(exchange="tree")
+
+    def test_config_wires_exchange_through(self):
+        from repro.serve.plane.control import ControlPlane
+        plane = ControlPlane(PlaneConfig(exchange="ring"))
+        assert plane.replicas.exchange == "ring"
+        assert ControlPlane(PlaneConfig()).replicas.exchange == "broadcast"
+
+    def test_broadcast_copies_start_together(self):
+        mgr, fleet = self._manager_and_fleet("broadcast")
+        installed = mgr.maybe_replicate(self.KEY, self.ENTRY, fleet,
+                                        t_ms=10.0)
+        assert installed == 3
+        copy_ms = self.ENTRY.nbytes / (fleet[1].spec.pcie_gbs * 1e9) * 1e3
+        for dev in list(fleet)[1:]:
+            assert dev.busy_until_ms == pytest.approx(10.0 + copy_ms)
+
+    def test_ring_copies_chain(self):
+        mgr, fleet = self._manager_and_fleet("ring")
+        installed = mgr.maybe_replicate(self.KEY, self.ENTRY, fleet,
+                                        t_ms=10.0)
+        assert installed == 3
+        copy_ms = self.ENTRY.nbytes / (fleet[1].spec.pcie_gbs * 1e9) * 1e3
+        ends = sorted(d.busy_until_ms for d in list(fleet)[1:])
+        assert ends == pytest.approx([10.0 + copy_ms,
+                                      10.0 + 2 * copy_ms,
+                                      10.0 + 3 * copy_ms])
+
+    def test_same_replica_set_either_way(self):
+        for exchange in ("broadcast", "ring"):
+            mgr, fleet = self._manager_and_fleet(exchange)
+            mgr.maybe_replicate(self.KEY, self.ENTRY, fleet, t_ms=0.0)
+            holders = {d.index for d in mgr.holders(self.KEY, fleet)}
+            assert holders == {0, 1, 2, 3}, exchange

@@ -5,6 +5,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.count_kernel import count_triangles_kernel
 from repro.core.forward_gpu import gpu_count_triangles
@@ -199,6 +201,58 @@ class TestStreamTimeline:
         # Double-buffered: prep/copy cost max(4,3) instead of 7.
         assert tl.pipelined_ms() == pytest.approx(6.0)
 
+    def test_empty_timeline_makespan(self):
+        tl = StreamTimeline()
+        assert tl.makespan_ms == 0.0
+        assert tl.overlap_savings_ms == 0.0
+
+    def test_add_on_before_any_default_event(self):
+        # A stream forked before the default stream ever ran starts at 0.
+        tl = StreamTimeline()
+        tl.add_on("early copy", 2.0, phase="copy", stream=3)
+        event = tl.stream_events[0]
+        assert event.start_ms == pytest.approx(0.0)
+        assert tl.makespan_ms == pytest.approx(2.0)
+
+    def test_pipelined_ms_with_absent_phase(self):
+        # No "copy" events: nothing to hide, the what-if is the total.
+        tl = StreamTimeline()
+        tl.add("prep", 4.0, phase="preprocess")
+        tl.add("kernel", 2.0, phase="count")
+        assert tl.pipelined_ms() == pytest.approx(tl.total_ms)
+
+    def test_barrier_covers_streams_forked_after_it(self):
+        """The cursor-bookkeeping bugfix: when every pre-barrier event
+        sat on named streams, a stream forked *after* the barrier used
+        to start at the stale pre-barrier default clock (0.0)."""
+        tl = StreamTimeline()
+        tl.add_on("copy a", 3.0, phase="copy", stream=1)
+        tl.add_on("copy b", 4.0, phase="copy", stream=2)
+        tl.barrier()
+        tl.add_on("late", 1.0, phase="copy", stream=7)   # fresh stream
+        late = tl.stream_events[-1]
+        assert late.start_ms == pytest.approx(4.0)
+        assert tl.makespan_ms == pytest.approx(5.0)
+
+    def test_wait_for_edge_semantics(self):
+        tl = StreamTimeline()
+        tl.add("host", 5.0)
+        dep = tl.wait_for(1, 0)          # stream 1 waits for the host work
+        tl.add_on("copy", 2.0, phase="copy", stream=1)
+        assert (dep.stream, dep.upstream) == (1, 0)
+        assert dep.at_ms == pytest.approx(5.0)
+        assert tl.stream_deps == [dep]
+        assert tl.stream_events[-1].start_ms == pytest.approx(5.0)
+        # The edge never rewinds a stream that is already further along.
+        tl.wait_for(1, 0)
+        assert tl.stream_time(1) == pytest.approx(7.0)
+
+    def test_stream_time_accessor(self):
+        tl = StreamTimeline()
+        tl.add("host", 3.0)
+        assert tl.stream_time() == pytest.approx(3.0)
+        assert tl.stream_time(9) == pytest.approx(3.0)   # unforked stream
+
     def test_multi_gpu_broadcast_overlaps(self, small_rmat):
         run3 = multi_gpu_count_triangles(small_rmat, device=TESLA_C2050,
                                          num_gpus=3)
@@ -211,6 +265,33 @@ class TestStreamTimeline:
         assert tl.makespan_ms < tl.total_ms
         want = forward_count_cpu(small_rmat).triangles
         assert run3.triangles == want
+
+
+class TestStreamInvariance:
+    """Serial totals are the paper's protocol — no stream assignment,
+    dependency edge or barrier may change them."""
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0),
+                  st.integers(min_value=0, max_value=5),
+                  st.sampled_from(["preprocess", "copy", "count", "reduce"])),
+        max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_serial_totals_invariant_under_streams(self, events):
+        streamed = StreamTimeline()
+        serial = StreamTimeline()
+        for i, (ms, stream, phase) in enumerate(events):
+            streamed.add_on(f"e{i}", ms, phase=phase, stream=stream)
+            serial.add(f"e{i}", ms, phase=phase)
+            if i % 3 == 0:
+                streamed.wait_for((stream + 1) % 6, stream)
+            if i % 7 == 6:
+                streamed.barrier()
+        assert streamed.total_ms == pytest.approx(serial.total_ms)
+        for phase in ("preprocess", "copy", "count", "reduce"):
+            assert streamed.phase_ms(phase) == pytest.approx(
+                serial.phase_ms(phase))
+        assert streamed.makespan_ms <= serial.total_ms + 1e-9
 
 
 class TestGpuBackends:
@@ -253,4 +334,34 @@ class TestSan104:
         src_root = Path(__file__).parent.parent / "src"
         findings = [f for f in lint_paths([str(src_root)])
                     if f.rule == "SAN104"]
+        assert findings == []
+
+
+class TestSan105:
+    def test_flags_direct_cursor_access(self):
+        src = "start = tl._cursors[0]\n"
+        findings = lint_source(src, "src/repro/core/rogue.py")
+        assert [f.rule for f in findings] == ["SAN105"]
+        assert "stream_time" in findings[0].message
+
+    def test_flags_cursor_mutation(self):
+        src = "tl._cursors[1] = 5.0\n"
+        findings = lint_source(src, "src/repro/bench/rogue.py")
+        assert [f.rule for f in findings] == ["SAN105"]
+
+    def test_runtime_package_exempt(self):
+        src = "start = self._cursors[stream]\n"
+        assert lint_source(src, "src/repro/runtime/stream.py") == []
+
+    def test_suppression_comment(self):
+        src = "x = tl._cursors  # san-ok: SAN105\n"
+        assert lint_source(src, "src/repro/core/rogue.py") == []
+
+    def test_tree_is_clean(self):
+        from pathlib import Path
+
+        from repro.sanitize.lint import lint_paths
+        src_root = Path(__file__).parent.parent / "src"
+        findings = [f for f in lint_paths([str(src_root)])
+                    if f.rule == "SAN105"]
         assert findings == []
