@@ -18,5 +18,9 @@ setup(
     packages=find_packages(where="src"),
     package_data={"repro": ["py.typed"]},
     install_requires=["numpy>=1.24", "scipy>=1.10"],
-    entry_points={"console_scripts": ["repro-bench = repro.bench.cli:main"]},
+    entry_points={"console_scripts": [
+        "repro-bench = repro.bench.cli:main",
+        "repro-lint = repro.sanitize.lint:main",
+        "repro-analyze = repro.analyze.cli:main",
+    ]},
 )

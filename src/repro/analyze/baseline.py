@@ -1,0 +1,98 @@
+"""Committed finding baselines — adopt the analyzer without a
+flag-day cleanup.
+
+A baseline file records the findings a tree is *known* to contain (the
+seeded teaching examples in ``examples/``, legacy debt being burned
+down).  The gate then distinguishes:
+
+* **new** findings — not in the baseline; these fail CI;
+* **matched** findings — baselined, reported informationally;
+* **stale** entries — baselined but no longer reported; surfaced (and
+  failed) so the baseline shrinks monotonically instead of rotting —
+  run ``repro-analyze --update-baseline`` after fixing the debt.
+
+Matching is a multiset over ``(path, rule, line)``: messages may be
+reworded without churning the baseline, but a finding moving to a
+different line must be re-acknowledged deliberately.  Paths are stored
+POSIX-style relative to the repo root so the file is stable across
+checkouts and operating systems.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path, PurePosixPath
+
+from repro.analyze.findings import Finding
+from repro.errors import AnalysisError
+
+BASELINE_FORMAT = "repro-analyze-baseline/v1"
+
+Key = tuple[str, str, int]
+
+
+def _norm(path: str) -> str:
+    return str(PurePosixPath(*Path(path).parts))
+
+
+def _key(finding: Finding) -> Key:
+    return (_norm(finding.path), finding.rule, finding.line)
+
+
+def load(path: str | Path) -> Counter[Key]:
+    """Baseline entries as a multiset of ``(path, rule, line)`` keys."""
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != BASELINE_FORMAT:
+        raise AnalysisError(
+            f"baseline {path} is not a {BASELINE_FORMAT!r} document")
+    entries = doc.get("findings")
+    if not isinstance(entries, list):
+        raise AnalysisError(f"baseline {path}: 'findings' must be a list")
+    keys: Counter[Key] = Counter()
+    for i, entry in enumerate(entries):
+        if (not isinstance(entry, dict)
+                or not isinstance(entry.get("path"), str)
+                or not isinstance(entry.get("rule"), str)
+                or not isinstance(entry.get("line"), int)):
+            raise AnalysisError(
+                f"baseline {path}: entry {i} needs string 'path'/'rule' "
+                "and integer 'line'")
+        keys[(_norm(entry["path"]), entry["rule"], entry["line"])] += 1
+    return keys
+
+
+def save(path: str | Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted,
+    message included for human review — matching ignores it)."""
+    entries = [{"path": _norm(f.path), "rule": f.rule, "line": f.line,
+                "message": f.message} for f in sorted(findings)]
+    doc = {"format": BASELINE_FORMAT, "findings": entries}
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def split(findings: list[Finding], baseline: Counter[Key],
+          ) -> tuple[list[Finding], list[Finding], list[Key]]:
+    """``(new, matched, stale)`` relative to the baseline multiset."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(remaining.elements())
+    return new, matched, stale

@@ -1,0 +1,291 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The flat walker this subsystem replaced saw a function as a bag of
+nodes; every path-sensitive contract (buffer freed on one exit path but
+not another, a use after a conditional free, a wait on a stream whose
+events were only issued on some branch) was inexpressible.  This module
+builds a conventional basic-block CFG that the dataflow engine
+(:mod:`repro.analyze.dataflow`) iterates to a fixpoint.
+
+Granularity and conventions
+---------------------------
+* A :class:`Block` holds *simple* statements only.  Compound statements
+  contribute a synthetic header element instead of themselves:
+
+  - ``if``/``while`` — an ``ast.Expr`` wrapping the test (so dataflow
+    sees the names the condition reads);
+  - ``for`` — an ``ast.Assign`` of the loop target from the iterable
+    (the binding a real iteration performs, which is what taint and
+    reaching-definition transfer functions need);
+  - ``with`` — an ``ast.Assign`` per ``as`` binding (or a bare ``Expr``
+    of the context manager when there is none).
+
+  Synthetic nodes carry the source location of the statement they
+  summarize (``ast.copy_location``).
+* ``return`` edges to :attr:`CFG.exit_id`; ``raise`` edges to the
+  innermost enclosing handlers or, outside any ``try``, to
+  :attr:`CFG.raise_id` (kept separate so "leak on early *return*"
+  checks can ignore exceptional exits).
+* Every block created inside a ``try`` body gets an edge to each
+  handler entry — the conservative "any statement may raise" reading.
+* Nested ``def``/``class`` bodies are opaque single statements; each
+  function gets its own CFG.
+
+The builder is deliberately small: it models exactly the control
+constructs the repo's kernel/pipeline code uses (``if``/``for``/
+``while``/``try``/``with``/``match``, early returns, ``break``/
+``continue``) and nothing speculative.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus successor ids."""
+
+    id: int
+    label: str = ""
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+    def add_succ(self, block_id: int) -> None:
+        if block_id not in self.succs:
+            self.succs.append(block_id)
+
+
+@dataclass
+class CFG:
+    """A function (or module) body as basic blocks.
+
+    ``entry_id`` is where execution starts; ``exit_id`` collects normal
+    termination (every ``return`` plus falling off the end);
+    ``raise_id`` collects unhandled ``raise`` statements.
+    """
+
+    blocks: dict[int, Block]
+    entry_id: int
+    exit_id: int
+    raise_id: int
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def preds(self) -> dict[int, list[int]]:
+        """Predecessor ids per block (derived, deterministic order)."""
+        preds: dict[int, list[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.succs:
+                preds[succ].append(block.id)
+        return preds
+
+    def rpo(self) -> list[int]:
+        """Reverse postorder from the entry (unreachable blocks last,
+        in id order, so fixpoint iteration still covers them)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(block_id: int) -> None:
+            if block_id in seen:
+                return
+            seen.add(block_id)
+            for succ in self.blocks[block_id].succs:
+                visit(succ)
+            order.append(block_id)
+
+        visit(self.entry_id)
+        ordered = list(reversed(order))
+        ordered += [bid for bid in sorted(self.blocks) if bid not in seen]
+        return ordered
+
+
+def _header_expr(node: ast.stmt, test: ast.expr) -> ast.stmt:
+    expr = ast.Expr(value=test)
+    return ast.copy_location(expr, node)
+
+
+def _header_assign(node: ast.stmt, target: ast.expr,
+                   value: ast.expr) -> ast.stmt:
+    assign = ast.Assign(targets=[target], value=value)
+    return ast.copy_location(assign, node)
+
+
+class _Builder:
+    """Single-use CFG construction state."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, Block] = {}
+        self.exit_id = self._new("exit")
+        self.raise_id = self._new("raise")
+        #: (continue target, break target) per enclosing loop.
+        self.loops: list[tuple[int, int]] = []
+        #: handler-entry ids per enclosing ``try``.
+        self.handlers: list[list[int]] = []
+
+    def _new(self, label: str) -> int:
+        block = Block(id=len(self.blocks), label=label)
+        self.blocks[block.id] = block
+        return block.id
+
+    def _edge(self, src: int | None, dst: int) -> None:
+        if src is not None:
+            self.blocks[src].add_succ(dst)
+
+    def _fresh(self, label: str, *preds: int | None) -> int:
+        block_id = self._new(label)
+        for pred in preds:
+            self._edge(pred, block_id)
+        if self.handlers:
+            # Conservative: any statement inside a try body may raise.
+            for handler in self.handlers[-1]:
+                self._edge(block_id, handler)
+        return block_id
+
+    def build(self, stmts: list[ast.stmt]) -> CFG:
+        entry = self._fresh("entry")
+        end = self.emit(stmts, entry)
+        self._edge(end, self.exit_id)
+        return CFG(blocks=self.blocks, entry_id=entry,
+                   exit_id=self.exit_id, raise_id=self.raise_id)
+
+    def emit(self, stmts: list[ast.stmt], cur: int | None) -> int | None:
+        """Emit a statement sequence; returns the open block afterwards,
+        or ``None`` when every path terminated (return/raise/break)."""
+        for stmt in stmts:
+            if cur is None:
+                # Unreachable code after a terminator still gets blocks
+                # (no predecessors), so its nodes stay analyzable.
+                cur = self._fresh("unreachable")
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: int) -> int | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cur)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cur)
+        if isinstance(stmt, ast.Return):
+            self.blocks[cur].stmts.append(stmt)
+            self._edge(cur, self.exit_id)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.blocks[cur].stmts.append(stmt)
+            if self.handlers:
+                for handler in self.handlers[-1]:
+                    self._edge(cur, handler)
+            else:
+                self._edge(cur, self.raise_id)
+            return None
+        if isinstance(stmt, ast.Break):
+            self._edge(cur, self.loops[-1][1] if self.loops
+                       else self.exit_id)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self._edge(cur, self.loops[-1][0] if self.loops
+                       else self.exit_id)
+            return None
+        # Simple statement (incl. nested def/class, treated opaquely).
+        self.blocks[cur].stmts.append(stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: int) -> int | None:
+        self.blocks[cur].stmts.append(_header_expr(stmt, stmt.test))
+        body_end = self.emit(stmt.body, self._fresh("if-body", cur))
+        if stmt.orelse:
+            else_end = self.emit(stmt.orelse, self._fresh("if-else", cur))
+        else:
+            else_end = cur
+        if body_end is None and else_end is None:
+            return None
+        return self._fresh("if-join", body_end, else_end)
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor,
+              cur: int) -> int:
+        header = self._fresh("loop-header", cur)
+        if isinstance(stmt, ast.While):
+            self.blocks[header].stmts.append(_header_expr(stmt, stmt.test))
+        else:
+            self.blocks[header].stmts.append(
+                _header_assign(stmt, stmt.target, stmt.iter))
+        after = self._fresh("loop-after")
+        self.loops.append((header, after))
+        body_end = self.emit(stmt.body, self._fresh("loop-body", header))
+        self.loops.pop()
+        self._edge(body_end, header)
+        if stmt.orelse:
+            else_end = self.emit(stmt.orelse,
+                                 self._fresh("loop-else", header))
+            self._edge(else_end, after)
+        else:
+            self._edge(header, after)
+        return after
+
+    def _try(self, stmt: ast.Try, cur: int) -> int | None:
+        handler_entries = []
+        for handler in stmt.handlers:
+            entry = self._new("except")
+            if handler.name:
+                name = ast.Name(id=handler.name, ctx=ast.Store())
+                bound = handler.type if handler.type is not None \
+                    else ast.Constant(value=None)
+                self.blocks[entry].stmts.append(ast.copy_location(
+                    ast.Assign(targets=[ast.copy_location(name, handler)],
+                               value=bound), handler))
+            handler_entries.append(entry)
+
+        self.handlers.append(handler_entries)
+        body_end = self.emit(stmt.body, self._fresh("try-body", cur))
+        if stmt.orelse:
+            body_end = self.emit(stmt.orelse, body_end)
+        self.handlers.pop()
+
+        ends: list[int | None] = [body_end]
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            ends.append(self.emit(handler.body, entry))
+        live = [e for e in ends if e is not None]
+        if stmt.finalbody:
+            if not live and not stmt.handlers:
+                # try/finally where the body always terminates: the
+                # finally still runs on the way out.
+                live = []
+            fin = self._fresh("finally", *live)
+            return self.emit(stmt.finalbody, fin)
+        if not live:
+            return None
+        return self._fresh("try-join", *live)
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, cur: int) -> int | None:
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                self.blocks[cur].stmts.append(_header_assign(
+                    stmt, item.optional_vars, item.context_expr))
+            else:
+                self.blocks[cur].stmts.append(
+                    _header_expr(stmt, item.context_expr))
+        return self.emit(stmt.body, cur)
+
+    def _match(self, stmt: ast.Match, cur: int) -> int | None:
+        self.blocks[cur].stmts.append(_header_expr(stmt, stmt.subject))
+        ends: list[int | None] = [cur]  # no case may match
+        for case in stmt.cases:
+            ends.append(self.emit(case.body,
+                                  self._fresh("match-case", cur)))
+        live = [e for e in ends if e is not None]
+        if not live:
+            return None
+        return self._fresh("match-join", *live)
+
+
+def build_cfg(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+              ) -> CFG:
+    """Build the CFG of one function body (or a module's top level)."""
+    return _Builder().build(list(node.body))

@@ -1,0 +1,19 @@
+"""Check plugins.  Importing this package registers every built-in
+check with :mod:`repro.analyze.registry`; a new check is a new module
+here plus an import below — the driver discovers it through the
+registry, never by name.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.checks import (  # noqa: F401  (import-for-effect)
+    geometry,
+    invariants,
+    lifetime,
+    racecheck,
+    streams,
+    transfers,
+)
+
+__all__ = ["geometry", "invariants", "lifetime", "racecheck",
+           "streams", "transfers"]

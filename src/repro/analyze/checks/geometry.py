@@ -1,0 +1,163 @@
+"""SAN204b — constant-fold ``LaunchConfig`` geometry against the
+``DeviceSpec`` catalog limits.
+
+``LaunchConfig.validate`` rejects impossible geometry at run time — but
+a sweep config or example that only runs on CI's smallest preset can
+ship a geometry that no device in the catalog accepts and nobody
+executes until a user does.  This check folds integer-constant
+expressions in ``LaunchConfig(...)`` call sites (literals, unary minus,
+``+ - * // % **`` arithmetic) and flags a geometry only when it is
+invalid on *every* catalog device: occupancy limits differ per device,
+so a geometry one preset accepts is a tuning choice, not a bug.
+
+The limits are read from :mod:`repro.gpusim.device` at check time (the
+catalog of ``DeviceSpec`` instances plus the hard
+``max_threads_per_block`` cap), not duplicated here — a new preset
+widens the accepted envelope automatically.  Non-constant operands
+fold to "unknown" and the dimension is skipped; this is a static
+complement to ``validate``, not a replacement.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+
+from repro.analyze.context import ModuleContext
+from repro.analyze.findings import Finding
+from repro.analyze.registry import CheckSpec, register
+
+
+def _fold_int(expr: ast.expr) -> int | None:
+    """Fold an integer-constant expression, or ``None`` if unknown."""
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool) or not isinstance(expr.value, int):
+            return None
+        return int(expr.value)
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        inner = _fold_int(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.BinOp):
+        left, right = _fold_int(expr.left), _fold_int(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(expr.op, ast.Add):
+                return left + right
+            if isinstance(expr.op, ast.Sub):
+                return left - right
+            if isinstance(expr.op, ast.Mult):
+                return left * right
+            if isinstance(expr.op, ast.FloorDiv):
+                return left // right
+            if isinstance(expr.op, ast.Mod):
+                return left % right
+            if isinstance(expr.op, ast.Pow) and right >= 0 and right < 64:
+                return left ** right
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+@lru_cache(maxsize=1)
+def _catalog_limits() -> tuple[tuple[tuple[int, int, int, int], ...], int]:
+    """``((warp, max_tpb, max_bps, max_tps) per device, hard tpb cap)``
+    from the live device catalog."""
+    from repro.gpusim import device as device_mod
+
+    devices = [value for value in vars(device_mod).values()
+               if isinstance(value, device_mod.DeviceSpec)]
+    limits = tuple(sorted(
+        (spec.warp_size, spec.max_threads_per_block,
+         spec.max_blocks_per_sm, spec.max_threads_per_sm)
+        for spec in devices))
+    hard_cap = max((spec.max_threads_per_block for spec in devices),
+                   default=1024)
+    return limits, hard_cap
+
+
+#: LaunchConfig's positional signature.
+_FIELDS = ("threads_per_block", "blocks_per_sm", "simulated_warp_size")
+
+
+def _geometry(call: ast.Call) -> dict[str, int]:
+    values: dict[str, int] = {}
+    for position, arg in enumerate(call.args[:len(_FIELDS)]):
+        folded = _fold_int(arg)
+        if folded is not None:
+            values[_FIELDS[position]] = folded
+    for kw in call.keywords:
+        if kw.arg in _FIELDS:
+            folded = _fold_int(kw.value)
+            if folded is not None:
+                values[kw.arg] = folded
+    return values
+
+
+def _geometry_errors(values: dict[str, int]) -> list[str]:
+    """Reasons the geometry is invalid on every catalog device
+    (empty when at least one device accepts it)."""
+    limits, hard_cap = _catalog_limits()
+    if not limits:
+        return []
+    tpb = values.get("threads_per_block")
+    bps = values.get("blocks_per_sm")
+    sws = values.get("simulated_warp_size")
+
+    errors: list[str] = []
+    if tpb is not None:
+        if tpb < 1:
+            errors.append(f"threads_per_block={tpb} must be positive")
+        elif tpb > hard_cap:
+            errors.append(f"threads_per_block={tpb} exceeds the hardware "
+                          f"cap {hard_cap} on every catalog device")
+        elif not any(tpb % warp == 0 for warp, _t, _b, _s in limits):
+            warps = sorted({warp for warp, _t, _b, _s in limits})
+            errors.append(f"threads_per_block={tpb} is not a multiple of "
+                          f"any catalog warp size {warps}")
+    if bps is not None:
+        max_bps = max(b for _w, _t, b, _s in limits)
+        if bps < 1:
+            errors.append(f"blocks_per_sm={bps} must be positive")
+        elif bps > max_bps:
+            errors.append(f"blocks_per_sm={bps} exceeds max_blocks_per_sm="
+                          f"{max_bps} on every catalog device")
+    if tpb is not None and bps is not None and tpb >= 1 and bps >= 1:
+        max_tps = max(s for _w, _t, _b, s in limits)
+        if tpb * bps > max_tps:
+            errors.append(f"threads_per_block*blocks_per_sm={tpb * bps} "
+                          f"exceeds max_threads_per_sm={max_tps} on every "
+                          "catalog device")
+    if sws is not None:
+        if sws < 1:
+            errors.append(f"simulated_warp_size={sws} must be positive")
+        elif not any(warp % sws == 0 for warp, _t, _b, _s in limits):
+            warps = sorted({warp for warp, _t, _b, _s in limits})
+            errors.append(f"simulated_warp_size={sws} does not divide any "
+                          f"catalog warp size {warps}")
+    return errors
+
+
+def _run_san204b(ctx: ModuleContext) -> list[Finding]:
+    out: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        if name != "LaunchConfig":
+            continue
+        for reason in _geometry_errors(_geometry(node)):
+            out.append(SAN204B.finding(
+                ctx.path, node.lineno, node.col_offset,
+                f"launch geometry rejected by every DeviceSpec in the "
+                f"catalog: {reason}"))
+    return out
+
+
+SAN204B = register(CheckSpec(
+    id="SAN204b", name="launch-geometry",
+    summary="constant LaunchConfig geometry invalid on every DeviceSpec "
+            "in the catalog",
+    severity="error", run=_run_san204b))

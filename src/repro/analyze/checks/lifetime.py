@@ -1,0 +1,220 @@
+"""SAN203b — DeviceMemory buffer lifetime over the per-function CFG.
+
+``DeviceMemory`` hands out buffers through ``alloc``/``alloc_empty``/
+``try_alloc`` and reclaims them through ``free`` (or ``free_all``).
+Three path-sensitive lifetime bugs are expressible once the CFG exists:
+
+* **use-after-free** — a buffer name read on a path where every
+  reaching definition has already been freed;
+* **double-free** — ``free(x)`` on a path where ``x`` is definitely
+  freed already;
+* **leak on early return** — a function that demonstrably owns a
+  buffer (it frees it on *some* path) returns on another path with the
+  buffer definitely live and not escaping through the return value.
+
+The lattice is per-name status sets over ``{"alloc", "freed"}`` with
+union join, so merge points degrade to *maybe*-freed and only
+*definite* facts are reported — ``if cond: mem.free(x)`` followed by a
+use is maybe-freed and stays silent.  Exceptional exits are ignored for
+the leak rule (``raise`` paths go to the CFG's raise sink, not the
+exit), matching the "early *return*" contract in the rule name.
+Ownership transfer is recognized structurally: names that appear in any
+``return``/``yield`` value, are stored into an attribute/subscript, or
+are declared ``global``/``nonlocal`` escape the function and are never
+leak candidates.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.cfg import CFG, Block
+from repro.analyze.context import FunctionNode, ModuleContext
+from repro.analyze.dataflow import bindings, fixpoint, walk_shallow
+from repro.analyze.findings import Finding
+from repro.analyze.registry import CheckSpec, register
+
+_ALLOC_METHODS = {"alloc", "alloc_empty", "try_alloc"}
+
+State = dict[str, frozenset[str]]
+
+_ALLOCATED = frozenset({"alloc"})
+#: ``try_alloc`` may return ``None`` — the binding is tracked (frees of
+#: it are real) but never *definitely* allocated, so the leak rule
+#: stays quiet on the untested-None early-return shape.
+_MAYBE_ALLOCATED = frozenset({"alloc", "maybe-none"})
+_FREED = frozenset({"freed"})
+
+
+def _freed_names(stmt: ast.stmt) -> list[tuple[ast.Call, str]]:
+    """``(call, buffer name)`` for each ``X.free(name)`` in ``stmt``."""
+    out: list[tuple[ast.Call, str]] = []
+    for node in walk_shallow(stmt):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "free"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Name)):
+            out.append((node, node.args[0].id))
+    return out
+
+
+def _frees_everything(stmt: ast.stmt) -> bool:
+    return any(isinstance(node, ast.Call)
+               and isinstance(node.func, ast.Attribute)
+               and node.func.attr == "free_all"
+               for node in walk_shallow(stmt))
+
+
+def _alloc_status(expr: ast.expr) -> frozenset[str] | None:
+    if (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _ALLOC_METHODS):
+        return (_MAYBE_ALLOCATED if expr.func.attr == "try_alloc"
+                else _ALLOCATED)
+    return None
+
+
+def _join(a: State, b: State) -> State:
+    merged = dict(a)
+    for name, status in b.items():
+        merged[name] = merged.get(name, frozenset()) | status
+    return merged
+
+
+def _apply(stmt: ast.stmt, state: State) -> State:
+    """Transfer of one statement (no reporting)."""
+    out = dict(state)
+    for _call, name in _freed_names(stmt):
+        if name in out:
+            out[name] = _FREED
+    if _frees_everything(stmt):
+        for name in out:
+            out[name] = _FREED
+    for names, value in bindings(stmt):
+        status = _alloc_status(value)
+        for name in names:
+            if status is not None:
+                out[name] = status
+            else:
+                out.pop(name, None)  # rebound to a non-buffer value
+    return out
+
+
+def _unit_nodes(unit: FunctionNode | ast.Module) -> list[ast.AST]:
+    """Every node of the unit's own body, nested defs excluded."""
+    nodes: list[ast.AST] = []
+    for stmt in unit.body:
+        nodes.extend(walk_shallow(stmt))
+    return nodes
+
+
+def _escaping_names(unit: FunctionNode | ast.Module) -> set[str]:
+    """Names whose buffer may outlive the unit: returned, yielded,
+    stored into attributes/subscripts, or declared global/nonlocal."""
+    escaping: set[str] = set()
+    for node in _unit_nodes(unit):
+        if isinstance(node, ast.Return) and node.value is not None:
+            escaping.update(n.id for n in ast.walk(node.value)
+                            if isinstance(n, ast.Name))
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                and node.value is not None:
+            escaping.update(n.id for n in ast.walk(node.value)
+                            if isinstance(n, ast.Name))
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            escaping.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    escaping.update(n.id for n in ast.walk(target.value
+                                    if isinstance(target, ast.Attribute)
+                                    else target)
+                                    if isinstance(n, ast.Name))
+    return escaping
+
+
+def _owned_names(unit: FunctionNode | ast.Module) -> set[str]:
+    """Names the unit frees on at least one path — proof it owns the
+    reclamation, which is what makes a live buffer at return a leak."""
+    owned: set[str] = set()
+    for node in _unit_nodes(unit):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "free"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Name)):
+            owned.add(node.args[0].id)
+    return owned
+
+
+def _loads(stmt: ast.stmt, skip: set[int]) -> list[ast.Name]:
+    return [node for node in walk_shallow(stmt)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in skip]
+
+
+def _report_unit(ctx: ModuleContext, unit: FunctionNode | ast.Module,
+                 cfg: CFG) -> list[Finding]:
+    in_states = fixpoint(cfg, {}, _block_transfer, _join)
+    is_function = not isinstance(unit, ast.Module)
+    leak_candidates = (_owned_names(unit) - _escaping_names(unit)
+                       if is_function else set())
+    out: list[Finding] = []
+    for block in cfg.blocks.values():
+        state = dict(in_states[block.id])
+        for stmt in block.stmts:
+            frees = _freed_names(stmt)
+            free_args = {id(call.args[0]) for call, _name in frees}
+            for node in _loads(stmt, skip=free_args):
+                if state.get(node.id) == _FREED:
+                    out.append(SAN203B.finding(
+                        ctx.path, node.lineno, node.col_offset,
+                        f"use of buffer {node.id!r} after it was freed "
+                        "on every path reaching this statement"))
+            for call, name in frees:
+                if state.get(name) == _FREED:
+                    out.append(SAN203B.finding(
+                        ctx.path, call.lineno, call.col_offset,
+                        f"double free of buffer {name!r}: already freed "
+                        "on every path reaching this statement"))
+            if isinstance(stmt, ast.Return):
+                returned: set[str] = set()
+                if stmt.value is not None:
+                    returned = {n.id for n in ast.walk(stmt.value)
+                                if isinstance(n, ast.Name)}
+                for name in sorted(leak_candidates - returned):
+                    if state.get(name) == _ALLOCATED:
+                        out.append(SAN203B.finding(
+                            ctx.path, stmt.lineno, stmt.col_offset,
+                            f"buffer {name!r} leaks on this early "
+                            "return: still allocated here, but freed "
+                            "on the function's other paths"))
+            state = _apply(stmt, state)
+    return out
+
+
+def _block_transfer(block: Block, state: State) -> State:
+    out = dict(state)
+    for stmt in block.stmts:
+        out = _apply(stmt, out)
+    return out
+
+
+def _run_san203b(ctx: ModuleContext) -> list[Finding]:
+    out: list[Finding] = []
+    units: list[FunctionNode | ast.Module] = [ctx.tree]
+    units.extend(ctx.functions)
+    for unit in units:
+        out.extend(_report_unit(ctx, unit, ctx.cfg(unit)))
+    return out
+
+
+SAN203B = register(CheckSpec(
+    id="SAN203b", name="buffer-lifetime",
+    summary="device buffer use-after-free, double-free, or leak on "
+            "early return (path-sensitive)",
+    severity="error", run=_run_san203b,
+    skip_parts=("gpusim",)))

@@ -1,0 +1,158 @@
+"""SAN201 — static racecheck: engine stores whose target index is not
+derived from thread/warp/worklist identity.
+
+The dynamic racecheck (PR 3) observes one execution: it catches a
+cross-warp same-element store only when the colliding indices actually
+occur in the inputs we ran.  The contract it enforces, though, holds on
+*every* path: the counting kernels write ``result_buf`` at their own
+thread id, and any ``engine.write`` whose index expression carries no
+provenance from warp/lane/worklist identity can collide across warps on
+some input.  This check is the static complement: a taint analysis over
+the per-function CFG seeds identity from
+
+* parameters and locals with identity names (``tid``, ``lanes``,
+  ``warp_id``, ``worklist``, …),
+* iteration-space constructors (``np.arange``, ``range``),
+
+and propagates through arithmetic, indexing, ``astype``/``reshape``
+chains and ``np.concatenate``-style recombinations.  A ``write`` or
+``atomic_add`` whose index argument is untainted at the call site is
+flagged.  ``atomic_add`` with a data-derived index *is* well-defined on
+real hardware — when that is the design (e.g. one atomicAdd per
+triangle corner), say so with ``# san-ok: SAN201`` at the call site,
+exactly like the dynamic racecheck's atomics exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.context import ModuleContext
+from repro.analyze.dataflow import bindings, propagate_taint, walk_shallow
+from repro.analyze.findings import Finding
+from repro.analyze.registry import CheckSpec, register
+
+#: Exact local/parameter names treated as thread/warp/worklist identity.
+IDENTITY_NAMES = frozenset({
+    "tid", "tids", "thread_id", "thread_ids",
+    "lane", "lanes", "lane_id", "lane_ids",
+    "warp", "warps", "warp_id", "warp_ids", "warp_of",
+    "worklist", "active_lanes", "live_lanes",
+})
+
+#: Store methods with the engine signature
+#: ``(buf, indices, values, thread_ids)``.
+_STORE_ATTRS = {"write", "atomic_add"}
+
+#: Methods whose result keeps the receiver's provenance.
+_CHAIN_ATTRS = {"astype", "reshape", "copy", "ravel", "flatten", "view"}
+
+#: Free functions / np members whose result is identity iff every array
+#: argument is.
+_COMBINE_NAMES = {"concatenate", "hstack", "vstack", "stack", "repeat",
+                  "tile", "sort", "unique", "minimum", "maximum"}
+
+#: Constructors of the iteration space itself.
+_ITERSPACE_NAMES = {"arange", "range"}
+
+
+def _expr_tainted(expr: ast.expr, tainted: frozenset[str]) -> bool:
+    """Does ``expr`` derive from warp/lane/worklist identity?"""
+    if isinstance(expr, ast.Name):
+        return expr.id in tainted or expr.id in IDENTITY_NAMES
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in IDENTITY_NAMES
+    if isinstance(expr, ast.Subscript):
+        # Values keep the *base*'s provenance: tid[mask] is identity,
+        # vertex_ids[tid] is data (indexed *by* identity, not of it).
+        return _expr_tainted(expr.value, tainted)
+    if isinstance(expr, ast.BinOp):
+        return (_expr_tainted(expr.left, tainted)
+                or _expr_tainted(expr.right, tainted))
+    if isinstance(expr, ast.UnaryOp):
+        return _expr_tainted(expr.operand, tainted)
+    if isinstance(expr, ast.IfExp):
+        return (_expr_tainted(expr.body, tainted)
+                or _expr_tainted(expr.orelse, tainted))
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return bool(expr.elts) and all(_expr_tainted(e, tainted)
+                                       for e in expr.elts)
+    if isinstance(expr, ast.Starred):
+        return _expr_tainted(expr.value, tainted)
+    if isinstance(expr, ast.NamedExpr):
+        return _expr_tainted(expr.value, tainted)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None)
+        if name in _ITERSPACE_NAMES:
+            return True
+        if name in _COMBINE_NAMES:
+            args: list[ast.expr] = []
+            for arg in expr.args:
+                if isinstance(arg, (ast.Tuple, ast.List)):
+                    args.extend(arg.elts)
+                else:
+                    args.append(arg)
+            return bool(args) and all(_expr_tainted(a, tainted)
+                                      for a in args)
+        if (name in _CHAIN_ATTRS and isinstance(func, ast.Attribute)):
+            return _expr_tainted(func.value, tainted)
+        return False
+    return False
+
+
+def _param_seeds(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 ) -> frozenset[str]:
+    args = node.args
+    names = [a.arg for a in (args.posonlyargs + args.args
+                             + args.kwonlyargs)]
+    return frozenset(n for n in names if n in IDENTITY_NAMES)
+
+
+def _store_calls(stmt: ast.stmt) -> list[ast.Call]:
+    return [node for node in walk_shallow(stmt)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _STORE_ATTRS
+            and len(node.args) >= 3]
+
+
+def _run_san201(ctx: ModuleContext) -> list[Finding]:
+    out: list[Finding] = []
+    units: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+                      frozenset[str]]] = [(ctx.tree, frozenset())]
+    units += [(fn, _param_seeds(fn)) for fn in ctx.functions]
+    for node, seeds in units:
+        cfg = ctx.cfg(node)
+        in_states = propagate_taint(cfg, seeds, _expr_tainted)
+        for block in cfg.blocks.values():
+            tainted = set(in_states[block.id])
+            for stmt in block.stmts:
+                for call in _store_calls(stmt):
+                    index = call.args[1]
+                    if not _expr_tainted(index, frozenset(tainted)):
+                        assert isinstance(call.func, ast.Attribute)
+                        out.append(SAN201.finding(
+                            ctx.path, call.lineno, call.col_offset,
+                            f"engine.{call.func.attr} index "
+                            f"{ast.unparse(index)!r} is not derived from "
+                            "warp/lane/worklist identity — cross-warp "
+                            "same-element hazard on some input; index by "
+                            "thread identity, or mark a deliberate "
+                            "atomicAdd design with '# san-ok: SAN201'"))
+                for names, value in bindings(stmt):
+                    carries = _expr_tainted(value, frozenset(tainted))
+                    for name in names:
+                        (tainted.add if carries
+                         else tainted.discard)(name)
+    return out
+
+
+SAN201 = register(CheckSpec(
+    id="SAN201", name="static-racecheck",
+    summary="engine write/atomic_add index not derived from "
+            "warp/lane/worklist identity (cross-warp hazard)",
+    severity="error", run=_run_san201,
+    skip_parts=("gpusim", "sanitize")))

@@ -1,0 +1,196 @@
+"""Intraprocedural dataflow over the CFG — the analyzer's engine room.
+
+Three layers:
+
+* :func:`fixpoint` — the generic forward worklist solver.  A check
+  supplies a lattice (``join``) and a per-block transfer function; the
+  solver iterates in reverse postorder until nothing changes.
+  Termination holds whenever the transfer functions are monotone over a
+  finite lattice — every lattice in this package is a finite powerset,
+  and ``tests/test_analyze.py`` pins termination on a synthetic loop.
+* :class:`ReachingDefinitions` — the classic gen/kill instance: which
+  assignments of each name can reach each block entry.  This is the
+  general form of the ad-hoc alias chasing the old SAN102 walker did.
+* :func:`propagate_taint` — forward may-taint of *names* from a seed
+  predicate over expressions (used by the SAN201 static racecheck to
+  track which values derive from warp/lane/worklist identity).
+
+All transfer helpers understand the synthetic header nodes the CFG
+builder plants for compound statements (loop-target assigns, condition
+reads), so path-sensitive facts flow through ``if``/``for``/``try``
+shapes without special cases in the checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, Mapping, TypeVar
+
+from repro.analyze.cfg import CFG, Block
+
+S = TypeVar("S")
+
+
+def fixpoint(cfg: CFG, entry_state: S,
+             transfer: Callable[[Block, S], S],
+             join: Callable[[S, S], S]) -> dict[int, S]:
+    """Forward dataflow to a fixpoint; returns the *entry* state of
+    every reachable block (unreachable blocks get ``entry_state``)."""
+    order = cfg.rpo()
+    position = {block_id: i for i, block_id in enumerate(order)}
+    preds = cfg.preds()
+    in_states: dict[int, S] = {cfg.entry_id: entry_state}
+    out_states: dict[int, S] = {}
+
+    worklist = list(order)
+    while worklist:
+        worklist.sort(key=lambda b: position[b])
+        block_id = worklist.pop(0)
+        block = cfg.block(block_id)
+        pred_outs = [out_states[p] for p in preds[block_id]
+                     if p in out_states]
+        if block_id == cfg.entry_id:
+            state = entry_state
+            for out in pred_outs:  # loop back-edges into the entry
+                state = join(state, out)
+        elif pred_outs:
+            state = pred_outs[0]
+            for out in pred_outs[1:]:
+                state = join(state, out)
+        else:
+            state = entry_state
+        in_states[block_id] = state
+        out = transfer(block, state)
+        if block_id not in out_states or out_states[block_id] != out:
+            out_states[block_id] = out
+            for succ in block.succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+    for block_id in cfg.blocks:
+        in_states.setdefault(block_id, entry_state)
+    return in_states
+
+
+# --------------------------------------------------------------------- #
+# assignment plumbing shared by the instances
+# --------------------------------------------------------------------- #
+
+_OPAQUE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda)
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into function/class bodies —
+    those are separate analysis units with their own CFGs.  An opaque
+    node is still yielded itself (a ``def`` is a statement of the
+    enclosing block) but contributes nothing below it; callers walking
+    a function *unit* iterate its ``body`` statements instead of the
+    ``FunctionDef`` node."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, _OPAQUE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def assigned_names(target: ast.expr) -> list[str]:
+    """Plain names bound by an assignment target (tuples unpacked;
+    attribute/subscript targets contribute nothing — they are stores
+    into existing objects, not bindings)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for elt in target.elts:
+            names.extend(assigned_names(elt))
+        return names
+    if isinstance(target, ast.Starred):
+        return assigned_names(target.value)
+    return []
+
+
+def bindings(stmt: ast.stmt) -> Iterator[tuple[list[str], ast.expr]]:
+    """``(bound names, value expression)`` pairs of one statement,
+    including walrus expressions nested anywhere inside it."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            yield assigned_names(target), stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        yield assigned_names(stmt.target), stmt.value
+    elif isinstance(stmt, ast.AugAssign):
+        yield assigned_names(stmt.target), stmt.value
+    for node in walk_shallow(stmt):
+        if isinstance(node, ast.NamedExpr):
+            yield assigned_names(node.target), node.value
+
+
+class ReachingDefinitions:
+    """Which ``(block, statement index)`` definition sites of each name
+    may reach each block entry.
+
+    State shape: ``name -> frozenset[(block_id, stmt_index)]``; join is
+    per-name union; an assignment kills previous sites (strong update).
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self._in = fixpoint(cfg, self._empty(), self._transfer, self._join)
+
+    @staticmethod
+    def _empty() -> Mapping[str, frozenset[tuple[int, int]]]:
+        return {}
+
+    @staticmethod
+    def _join(a: Mapping[str, frozenset[tuple[int, int]]],
+              b: Mapping[str, frozenset[tuple[int, int]]],
+              ) -> Mapping[str, frozenset[tuple[int, int]]]:
+        merged = dict(a)
+        for name, sites in b.items():
+            merged[name] = merged.get(name, frozenset()) | sites
+        return merged
+
+    @staticmethod
+    def _transfer(block: Block,
+                  state: Mapping[str, frozenset[tuple[int, int]]],
+                  ) -> Mapping[str, frozenset[tuple[int, int]]]:
+        out = dict(state)
+        for index, stmt in enumerate(block.stmts):
+            for names, _value in bindings(stmt):
+                for name in names:
+                    out[name] = frozenset({(block.id, index)})
+        return out
+
+    def at_entry(self, block_id: int,
+                 ) -> Mapping[str, frozenset[tuple[int, int]]]:
+        return self._in[block_id]
+
+    def sites(self, name: str) -> frozenset[tuple[int, int]]:
+        """Definition sites of ``name`` reaching the exit block."""
+        return self._in[self.cfg.exit_id].get(name, frozenset())
+
+
+def propagate_taint(cfg: CFG, seeds: frozenset[str],
+                    expr_tainted: Callable[[ast.expr, frozenset[str]], bool],
+                    ) -> dict[int, frozenset[str]]:
+    """Forward may-taint of names; returns tainted-name sets at each
+    block entry.  ``expr_tainted(expr, tainted)`` decides whether a
+    right-hand side carries the taint given the currently tainted
+    names; assignments of untainted values perform a strong update
+    (the name drops out on that path)."""
+
+    def transfer(block: Block, state: frozenset[str]) -> frozenset[str]:
+        tainted = set(state)
+        for stmt in block.stmts:
+            for names, value in bindings(stmt):
+                carries = expr_tainted(value, frozenset(tainted))
+                for name in names:
+                    if carries:
+                        tainted.add(name)
+                    else:
+                        tainted.discard(name)
+        return frozenset(tainted)
+
+    return fixpoint(cfg, seeds, transfer,
+                    lambda a, b: a | b)

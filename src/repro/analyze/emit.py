@@ -1,0 +1,126 @@
+"""Finding emitters: classic text, machine JSON, and SARIF 2.1.0.
+
+All three are deterministic — findings are emitted in sorted order and
+JSON renders with sorted keys — so re-running the analyzer over
+unchanged sources produces byte-identical output (pinned by a
+hypothesis test).  The SARIF document carries the full rule catalog
+from the registry in ``tool.driver.rules``, which is what lets code
+hosts render rule help inline next to annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePosixPath
+
+from repro.analyze.findings import Finding
+from repro.analyze.registry import all_checks
+
+JSON_FORMAT = "repro-analyze/v1"
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Finding severity -> SARIF result level.  ``note`` is a valid SARIF
+#: level of its own; the mapping is currently the identity but kept
+#: explicit so a future severity rename cannot silently emit an
+#: off-vocabulary level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _sorted(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings)
+
+
+def _counts(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def emit_text(findings: list[Finding]) -> str:
+    """Classic ``path:line:col: RULE message`` lines plus a summary."""
+    ordered = _sorted(findings)
+    lines = [finding.format() for finding in ordered]
+    if ordered:
+        counts = _counts(ordered)
+        summary = ", ".join(f"{rule}×{n}"
+                            for rule, n in sorted(counts.items()))
+        lines.append(f"{len(ordered)} finding"
+                     f"{'' if len(ordered) == 1 else 's'} ({summary})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines) + "\n"
+
+
+def emit_json(findings: list[Finding], *, files: int = 0) -> str:
+    ordered = _sorted(findings)
+    doc = {
+        "format": JSON_FORMAT,
+        "files": files,
+        "counts": _counts(ordered),
+        "findings": [finding.to_json() for finding in ordered],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rules() -> list[dict[str, object]]:
+    rules: list[dict[str, object]] = []
+    for spec in all_checks():
+        rules.append({
+            "id": spec.id,
+            "name": spec.name,
+            "shortDescription": {"text": spec.summary},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[spec.severity]},
+        })
+    return rules
+
+
+def emit_sarif(findings: list[Finding]) -> str:
+    """A single-run SARIF 2.1.0 log of the findings."""
+    rules = _sarif_rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: list[dict[str, object]] = []
+    for finding in _sorted(findings):
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": str(PurePosixPath(*_parts(finding.path)))},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-analyze",
+                "informationUri":
+                    "https://example.invalid/repro/docs/analysis.md",
+                "rules": rules,
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _parts(path: str) -> tuple[str, ...]:
+    from pathlib import Path
+
+    parts = Path(path).parts
+    return parts if parts else (".",)

@@ -1,0 +1,106 @@
+"""Repo-level analysis runs — the fixed ``src`` + ``examples`` sweep
+gated by the committed baseline.
+
+``repro-analyze`` takes arbitrary paths; the bench CLI and the
+reproduction bundle instead want *the repo's own cleanliness* as a
+single verdict, independent of the caller's working directory.  This
+module resolves the checkout root from the installed package location,
+analyzes the canonical trees with repo-root-relative paths (the form
+the committed baseline stores), and reports new/matched/stale findings
+plus parse errors in one record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.analyze import analyze_source, iter_python_files
+from repro.analyze.baseline import Key
+from repro.analyze.baseline import load as load_baseline
+from repro.analyze.baseline import split as split_baseline
+from repro.analyze.emit import emit_sarif
+from repro.analyze.findings import Finding
+
+#: The trees a repo-cleanliness run covers, relative to the root.
+ANALYZED_TREES = ("src", "examples")
+
+#: The committed baseline the run is gated by, relative to the root.
+BASELINE_PATH = "configs/lint_baseline.json"
+
+
+def repo_root() -> Path:
+    """The checkout root, derived from the package location
+    (``src/repro/__init__.py`` -> two parents up)."""
+    return Path(repro.__file__).resolve().parents[2]
+
+
+@dataclass(frozen=True)
+class RepoAnalysis:
+    """One repo-cleanliness verdict."""
+
+    new: tuple[Finding, ...]
+    matched: tuple[Finding, ...]
+    stale: tuple[Key, ...]
+    errors: tuple[Finding, ...]
+    files: int
+    baseline_path: str | None
+    sarif: str = field(repr=False, default="")
+
+    @property
+    def ok(self) -> bool:
+        return not (self.new or self.stale or self.errors)
+
+    def summary(self) -> str:
+        lines = [f"files={self.files} new={len(self.new)} "
+                 f"baselined={len(self.matched)} stale={len(self.stale)} "
+                 f"parse-errors={len(self.errors)} "
+                 f"ok={'yes' if self.ok else 'NO'}"]
+        lines.extend(f.format() for f in sorted(self.errors + self.new))
+        lines.extend(f"stale baseline entry: {path}:{line} {rule}"
+                     for path, rule, line in self.stale)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "baseline": self.baseline_path,
+            "new": [f.to_json() for f in sorted(self.new)],
+            "baselined": len(self.matched),
+            "stale": [{"path": p, "rule": r, "line": ln}
+                      for p, r, ln in self.stale],
+            "parse_errors": [f.to_json() for f in sorted(self.errors)],
+        }
+
+
+def run_repo_analysis(root: Path | None = None) -> RepoAnalysis:
+    """Analyze the repo's canonical trees against its baseline."""
+    root = root if root is not None else repo_root()
+    trees = [root / tree for tree in ANALYZED_TREES
+             if (root / tree).exists()]
+    findings: list[Finding] = []
+    errors: list[Finding] = []
+    files = 0
+    for file in iter_python_files(trees):
+        rel = file.relative_to(root).as_posix()
+        result = analyze_source(file.read_text(encoding="utf-8"), rel)
+        findings.extend(result.findings)
+        errors.extend(result.errors)
+        files += result.files
+
+    baseline_file = root / BASELINE_PATH
+    if baseline_file.exists():
+        baseline = load_baseline(baseline_file)
+        new, matched, stale = split_baseline(findings, baseline)
+        baseline_path: str | None = BASELINE_PATH
+    else:
+        new, matched, stale = list(findings), [], []
+        baseline_path = None
+    report = sorted(errors + new)
+    return RepoAnalysis(new=tuple(sorted(new)),
+                        matched=tuple(sorted(matched)),
+                        stale=tuple(stale), errors=tuple(sorted(errors)),
+                        files=files, baseline_path=baseline_path,
+                        sarif=emit_sarif(report))

@@ -38,10 +38,11 @@ from repro.runtime import kernel_names
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
              "sweep", "serve", "serve-scale", "wallclock", "overlap",
-             "sanitize", "tune", "reproduce", "all")
+             "sanitize", "analyze", "tune", "reproduce", "all")
 #: ``all`` expands to every experiment except the bundle (which would
-#: re-run everything a second time into ``artifacts/``).
-_ALL_EXCLUDES = ("all", "reproduce")
+#: re-run everything a second time into ``artifacts/``) and the static
+#: analyzer (which needs the repo checkout, not an installed package).
+_ALL_EXCLUDES = ("all", "reproduce", "analyze")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -394,6 +395,17 @@ def main(argv: list[str] | None = None) -> int:
                       f"{args.baseline}")
                 return 1
             print(f"  baseline check passed ({args.baseline})")
+
+    if "analyze" in commands:
+        from repro.analyze.run import run_repo_analysis
+        print("\n=== analyze — static invariants "
+              "(CFG dataflow, SAN100-SAN205b) ===")
+        analysis = run_repo_analysis()
+        print("  " + analysis.summary().replace("\n", "\n  "))
+        if not analysis.ok:
+            print("  FAIL: new static-analysis findings (or stale "
+                  "baseline entries); see repro-analyze")
+            return 1
 
     if "sanitize" in commands:
         from repro.sanitize.matrix import run_sanitize_matrix

@@ -105,6 +105,10 @@ ARTIFACT_FILES: dict[str, tuple[str, str]] = {
     "tuned.json": (
         "repro.bench.autotune.SweepReport.write_tuned",
         "autotuner winners per device (consumed by the serve scheduler)"),
+    "analysis.sarif": (
+        "repro.analyze.run.run_repo_analysis",
+        "static-analysis findings (SARIF 2.1.0) of the analyzed trees, "
+        "baseline-gated"),
 }
 
 
@@ -397,6 +401,20 @@ def _wallclock_section(report, preset: Preset) -> dict:
             "checks": checks, "ok": all(c["passed"] for c in checks)}
 
 
+def _analyze_section(analysis) -> dict:
+    """Static-analyzer cleanliness of the checkout the bundle ran from."""
+    checks = [
+        _check("analyzer_clean", analysis.ok,
+               f"{len(analysis.new)} new finding(s), "
+               f"{len(analysis.stale)} stale baseline entr(y/ies), "
+               f"{len(analysis.errors)} parse error(s) over "
+               f"{analysis.files} file(s) "
+               f"[{len(analysis.matched)} baselined]"),
+    ]
+    return {"doc": analysis.to_json(), "checks": checks,
+            "ok": all(c["passed"] for c in checks)}
+
+
 def _tune_section(sweep_report: SweepReport, tuned_path: str) -> dict:
     """Autotune results + the round-trip check into the serve loader."""
     tuned_doc = sweep_report.tuned_doc()
@@ -528,6 +546,10 @@ def run_reproduce(preset_name: str = "full", seed: int = 0,
         say(f"[reproduce] autotune sweep ({sweep_source}) ...")
         sweep_report = run_sweep(sweep_config)
 
+        say("[reproduce] static analysis ...")
+        from repro.analyze.run import run_repo_analysis
+        analysis = run_repo_analysis()
+
         os.makedirs(out_dir, exist_ok=True)
         tuned_path = os.path.join(out_dir, "tuned.json")
         sweep_report.write_tuned(tuned_path)
@@ -539,6 +561,7 @@ def run_reproduce(preset_name: str = "full", seed: int = 0,
             "serve_scale": _serve_scale_section(res, preset),
             "wallclock": _wallclock_section(wc, preset),
             "tune": _tune_section(sweep_report, tuned_path),
+            "analyze": _analyze_section(analysis),
         }
         summary = {
             "format": SUMMARY_FORMAT,
@@ -551,7 +574,7 @@ def run_reproduce(preset_name: str = "full", seed: int = 0,
         report_md = render_report(summary, rows, kron_rows, exp, res, wc,
                                   sweep_report)
         files = _write_artifacts(out_dir, summary, report_md, rows,
-                                 kron_rows, exp, res, wc)
+                                 kron_rows, exp, res, wc, analysis)
     result = ReproduceResult(summary=summary, report_md=report_md,
                              out_dir=out_dir, files=files)
     say(f"[reproduce] {'PASS' if result.ok else 'FAIL'}: "
@@ -560,7 +583,7 @@ def run_reproduce(preset_name: str = "full", seed: int = 0,
 
 
 def _write_artifacts(out_dir, summary, report_md, rows, kron_rows, exp,
-                     res, wc) -> list[str]:
+                     res, wc, analysis) -> list[str]:
     content = {
         "manifest.json": _dumps(summary["manifest"]),
         "summary.json": _dumps(summary),
@@ -570,6 +593,7 @@ def _write_artifacts(out_dir, summary, report_md, rows, kron_rows, exp,
         "BENCH_kernel.json": wc.json_str(),
         "BENCH_serve.json": res.json_str(),
         "serve_jobs.csv": exp.report.jobs_csv(),
+        "analysis.sarif": analysis.sarif,
         # tuned.json already written by SweepReport.write_tuned.
     }
     files = []
@@ -640,6 +664,13 @@ def render_report(summary, rows, kron_rows, exp, res, wc,
 
     out.write(f"## Autotune — {verdict(s['tune'])}\n\n")
     out.write("```text\n" + sweep_report.summary() + "\n```\n\n")
+
+    out.write(f"## Static analysis — {verdict(s['analyze'])}\n\n")
+    a = s["analyze"]["doc"]
+    out.write(f"{a['files']} file(s) analyzed; {len(a['new'])} new "
+              f"finding(s), {a['baselined']} baselined "
+              f"(`{a['baseline']}`), {len(a['stale'])} stale baseline "
+              "entr(y/ies); full SARIF log in `analysis.sarif`.\n\n")
 
     for name, section in s.items():
         for c in section.get("checks", []):

@@ -239,7 +239,9 @@ def count_triangles_compacted(engine: SimtEngine,
             # neighbor (the matched value).
             corners = np.concatenate([p_lu[:n][eq], p_lv[:n][eq],
                                       a[eq]])
-            engine.atomic_add(per_vertex_buf, corners,
+            # Deliberate data-indexed atomics (one per corner),
+            # well-defined by atomicAdd semantics.
+            engine.atomic_add(per_vertex_buf, corners,  # san-ok: SAN201
                               np.ones(len(corners), np.int64),
                               np.concatenate([mlanes, mlanes, mlanes]))
         uit += le

@@ -147,6 +147,27 @@ class RacecheckError(SanitizerError):
     ``atomic_add``."""
 
 
+class AnalysisError(ReproError):
+    """The static analyzer (:mod:`repro.analyze`) cannot proceed —
+    unreadable input, a malformed baseline file, or a bad rule filter.
+    Distinct from a *finding*: findings are data, this is a usage/parse
+    failure (``repro-analyze`` exit code 2)."""
+
+
+class CheckRegistrationError(AnalysisError):
+    """Two analyzer checks claimed the same SAN id.
+
+    Attributes
+    ----------
+    check_id : str
+        The contested rule id (e.g. ``"SAN201"``).
+    """
+
+    def __init__(self, check_id: str, message: str):
+        self.check_id = check_id
+        super().__init__(f"{check_id}: {message}")
+
+
 class CalibrationError(ReproError):
     """A timing-model constant is missing or inconsistent."""
 

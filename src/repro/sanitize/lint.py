@@ -1,401 +1,63 @@
-"""``repro-lint`` — static AST checks for simulator invariants.
+"""``repro-lint`` — backward-compatible shim over :mod:`repro.analyze`.
 
-The dynamic sanitizer (:mod:`repro.sanitize.sanitizer`) catches bugs at
-run time; this module catches the *patterns that create them* at review
-time.  Three rules, each encoding a contract the simulator's fidelity
-rests on:
+The flat AST walker that used to live here grew into a real analysis
+subsystem: per-function CFGs, a dataflow engine, a plugin check
+registry, SARIF output and committed baselines.  That stack is
+:mod:`repro.analyze`; the rules this module historically implemented
+(SAN101–SAN105, plus the SAN100 bare-suppression diagnostic) are now
+plugins in :mod:`repro.analyze.checks.invariants` with the same ids,
+the same ``# san-ok: SANxxx`` / ``# repro-lint: allow=SANxxx``
+suppressions, and the same ``path:line:col: RULE message`` findings.
 
-SAN101
-    Direct ``.data`` (NumPy payload) access on a :class:`DeviceBuffer`
-    outside ``repro/gpusim``.  Kernel and pipeline code must go through
-    ``SimtEngine.read``/``write``/``atomic_add`` (modeled, counted) or
-    the thrust-like wrappers — touching the backing array bypasses the
-    cache/coalescing model and silently produces counters that no real
-    GPU would show.  The ``gpusim`` package itself is exempt (it *is*
-    the model), as is ``sanitize`` (shadow state is sized and checked
-    against the payload by construction).
-
-SAN102
-    A kernel scope that issues ``engine.read``/``read_compacted`` calls
-    but never calls ``end_step``/``end_step_warps``.  Reads only enter
-    the timing model when a step is closed; a scope that reads without
-    closing steps produces traffic the profiler never prices.  The rule
-    resolves aliases (``read = engine.read_compacted``, including the
-    conditional ``x if c else y`` form) and treats each outermost
-    function (or the module top level) as one scope.
-
-SAN103
-    Legacy ``np.random.*`` API (``np.random.seed``, ``np.random.rand``,
-    global-state draws) outside ``repro/graphs/generators``.  Every
-    experiment in the repro must be replayable from a seed; the safe
-    spellings are ``np.random.default_rng`` / ``Generator`` /
-    ``SeedSequence`` / ``BitGenerator``.
-
-SAN104
-    Direct ``SimtEngine(...)`` construction outside ``repro/gpusim``
-    (the model itself) and ``repro/runtime`` (the one sanctioned
-    owner).  Pipelines that build engines by hand bypass the unified
-    launch lifecycle — sanitizer attachment, ``GpuOptions`` plumbing
-    (``use_readonly_cache``), hostprof phases — and drift from the
-    dispatch contract.  Use :func:`repro.runtime.launch` for the full
-    lifecycle or :func:`repro.runtime.build_engine` when a harness
-    times the kernel body itself.
-
-SAN105
-    Direct ``._cursors`` access outside ``repro/runtime``.  The stream
-    cursor dict is :class:`~repro.runtime.stream.StreamTimeline`'s
-    internal invariant (fork-point semantics, barrier advancement,
-    dependency-edge bookkeeping); code that reads or pokes it directly
-    can silently break the executed schedules' measured ``makespan_ms``.
-    Use :meth:`~repro.runtime.stream.StreamTimeline.stream_time` to read
-    a stream clock and :meth:`~repro.runtime.stream.StreamTimeline.
-    wait_for` to record ordering.
-
-Suppressions
-------------
-``# san-ok: SAN101`` on the flagged line waives that rule there;
-``# repro-lint: allow=SAN101`` in any comment waives the rule for the
-whole module (used by ``preprocess.py``, whose thrust-style host phase
-legitimately manipulates payloads).
+This shim keeps the old import surface (``lint_source`` /
+``lint_file`` / ``lint_paths`` / ``LintFinding`` / ``RULES``) and the
+``repro-lint`` console script alive, restricted to the legacy rules —
+the new path-sensitive checks (SAN201–SAN205b), output formats and
+baseline gating are ``repro-analyze``'s job.  Exit codes follow the
+shared contract: 0 clean, 1 findings, 2 usage/parse error.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
-import io
-import re
 import sys
-import tokenize
-from dataclasses import dataclass
 from pathlib import Path
 
-#: Rule catalog (id -> one-line summary), mirrored in docs/sanitizer.md.
-RULES = {
-    "SAN101": "DeviceBuffer payload (.data) accessed outside repro.gpusim",
-    "SAN102": "engine read without end_step/end_step_warps in its scope",
-    "SAN103": "legacy np.random API outside repro.graphs.generators",
-    "SAN104": "direct SimtEngine construction outside repro.gpusim/runtime",
-    "SAN105": "StreamTimeline._cursors accessed outside repro.runtime",
-}
+from repro.analyze import LEGACY_RULES, analyze_paths, analyze_source
+from repro.analyze.findings import Finding
+from repro.analyze.registry import rule_catalog
 
-_ALLOC_METHODS = {"alloc", "alloc_empty", "try_alloc"}
-_READ_ATTRS = {"read", "read_compacted"}
-_END_ATTRS = {"end_step", "end_step_warps"}
-_SAFE_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator"}
-_RULE_RE = re.compile(r"SAN\d{3}")
+#: Back-compat alias — findings are the structured analyzer records.
+LintFinding = Finding
+
+#: Rule catalog (id -> one-line summary), mirrored in docs/analysis.md.
+RULES = {rule: summary for rule, summary in rule_catalog().items()
+         if rule in LEGACY_RULES}
 
 
-@dataclass(frozen=True)
-class LintFinding:
-    """One rule violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Lint one module's source text with the legacy rules (``path``
+    is for reporting and the package-based exemptions)."""
+    result = analyze_source(source, path, checks=LEGACY_RULES)
+    return sorted(result.errors + result.findings)
 
 
-# --------------------------------------------------------------------- #
-# suppression comments
-# --------------------------------------------------------------------- #
-
-def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
-    """``(line -> waived rules, module-wide waived rules)`` from comments."""
-    per_line: dict[int, set[str]] = {}
-    module: set[str] = set()
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
-                continue
-            text = tok.string
-            if "repro-lint:" in text and "allow=" in text:
-                module.update(_RULE_RE.findall(text.split("allow=", 1)[1]))
-            elif "san-ok:" in text:
-                rules = _RULE_RE.findall(text.split("san-ok:", 1)[1])
-                per_line.setdefault(tok.start[0], set()).update(rules)
-    except tokenize.TokenError:
-        pass  # syntax problems surface via ast.parse instead
-    return per_line, module
-
-
-# --------------------------------------------------------------------- #
-# scope discovery
-# --------------------------------------------------------------------- #
-
-_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
-
-
-def _outermost_functions(tree: ast.Module) -> list[ast.AST]:
-    """Functions with no enclosing function (methods count as outermost)."""
-    found: list[ast.AST] = []
-
-    def visit(node: ast.AST, in_func: bool) -> None:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, _FUNC_NODES):
-                if not in_func:
-                    found.append(child)
-                visit(child, True)
-            else:
-                visit(child, in_func)
-
-    visit(tree, False)
-    return found
-
-
-def _module_scope_roots(tree: ast.Module) -> list[ast.AST]:
-    """Every node reachable from the module without entering a function
-    body — the module pseudo-scope (functions form their own scopes)."""
-    roots: list[ast.AST] = []
-    stack: list[ast.AST] = [tree]
-    while stack:
-        for child in ast.iter_child_nodes(stack.pop()):
-            if isinstance(child, _FUNC_NODES):
-                continue
-            roots.append(child)
-            stack.append(child)
-    return roots
-
-
-def _scope_nodes(scope: ast.AST | list[ast.AST]) -> list[ast.AST]:
-    """Flat node list of one scope, pruning nested function re-scoping
-    only for the module pseudo-scope (a function scope keeps its nested
-    helpers — ``end_step`` in the outer loop covers reads in an inner
-    ``_adj_read``)."""
-    if isinstance(scope, list):  # module pseudo-scope, already pruned
-        return scope
-    return list(ast.walk(scope))
-
-
-# --------------------------------------------------------------------- #
-# rule implementations
-# --------------------------------------------------------------------- #
-
-def _annotation_mentions_devicebuffer(ann: ast.AST | None) -> bool:
-    if ann is None:
-        return False
-    try:
-        text = ast.unparse(ann)
-    except Exception:
-        return False
-    return "DeviceBuffer" in text
-
-
-def _buffer_names(nodes: list[ast.AST], scope: ast.AST | list[ast.AST]) -> set[str]:
-    """Names bound to DeviceBuffers in this scope, by dataflow:
-    results of allocator calls, and parameters annotated DeviceBuffer."""
-    names: set[str] = set()
-    if isinstance(scope, _FUNC_NODES):
-        args = scope.args
-        for arg in (args.posonlyargs + args.args + args.kwonlyargs
-                    + [a for a in (args.vararg, args.kwarg) if a]):
-            if _annotation_mentions_devicebuffer(arg.annotation):
-                names.add(arg.arg)
-    for node in nodes:
-        value = None
-        targets: list[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            value, targets = node.value, node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            value, targets = node.value, [node.target]
-        elif isinstance(node, ast.NamedExpr):
-            value, targets = node.value, [node.target]
-        if value is None:
-            continue
-        if (isinstance(value, ast.Call)
-                and isinstance(value.func, ast.Attribute)
-                and value.func.attr in _ALLOC_METHODS):
-            for tgt in targets:
-                if isinstance(tgt, ast.Name):
-                    names.add(tgt.id)
-    return names
-
-
-def _check_san101(path: str, nodes: list[ast.AST],
-                  scope: ast.AST | list[ast.AST]) -> list[LintFinding]:
-    buffers = _buffer_names(nodes, scope)
-    if not buffers:
-        return []
-    out = []
-    for node in nodes:
-        if (isinstance(node, ast.Attribute) and node.attr == "data"
-                and isinstance(node.value, ast.Name)
-                and node.value.id in buffers):
-            out.append(LintFinding(
-                path, node.lineno, node.col_offset, "SAN101",
-                f"direct payload access {node.value.id}.data bypasses the "
-                "memory model; use engine.read/write or gpusim.thrustlike"))
-    return out
-
-
-def _is_read_attr(node: ast.AST) -> bool:
-    return isinstance(node, ast.Attribute) and node.attr in _READ_ATTRS
-
-
-def _check_san102(path: str, nodes: list[ast.AST]) -> list[LintFinding]:
-    read_aliases: set[str] = set()
-    end_aliases: set[str] = set()
-    for node in nodes:
-        if not isinstance(node, (ast.Assign, ast.NamedExpr)):
-            continue
-        value = node.value
-        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-        candidates = [value]
-        if isinstance(value, ast.IfExp):  # read = a.read_compacted if c else a.read
-            candidates = [value.body, value.orelse]
-        for cand in candidates:
-            if _is_read_attr(cand):
-                read_aliases.update(t.id for t in targets
-                                    if isinstance(t, ast.Name))
-            elif (isinstance(cand, ast.Attribute)
-                  and cand.attr in _END_ATTRS):
-                end_aliases.update(t.id for t in targets
-                                   if isinstance(t, ast.Name))
-
-    reads: list[ast.Call] = []
-    has_end = False
-    for node in nodes:
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            # file.read() / stream.read(n) are not engine reads — the
-            # engine signature is read(buf, indices, thread_ids).
-            if func.attr in _READ_ATTRS and len(node.args) >= 2:
-                reads.append(node)
-            elif func.attr in _END_ATTRS:
-                has_end = True
-        elif isinstance(func, ast.Name):
-            if func.id in read_aliases and len(node.args) >= 2:
-                reads.append(node)
-            elif func.id in end_aliases:
-                has_end = True
-
-    if not reads or has_end:
-        return []
-    first = min(reads, key=lambda c: (c.lineno, c.col_offset))
-    return [LintFinding(
-        path, first.lineno, first.col_offset, "SAN102",
-        "engine read(s) in a scope that never calls end_step/"
-        "end_step_warps — this traffic is invisible to the timing model")]
-
-
-def _check_san104(path: str, tree: ast.Module) -> list[LintFinding]:
-    out = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        name = (func.id if isinstance(func, ast.Name)
-                else func.attr if isinstance(func, ast.Attribute) else None)
-        if name != "SimtEngine":
-            continue
-        out.append(LintFinding(
-            path, node.lineno, node.col_offset, "SAN104",
-            "direct SimtEngine construction bypasses the unified runtime; "
-            "use repro.runtime.launch (full lifecycle) or "
-            "repro.runtime.build_engine (harness timing)"))
-    return out
-
-
-def _check_san105(path: str, tree: ast.Module) -> list[LintFinding]:
-    out = []
-    for node in ast.walk(tree):
-        if not (isinstance(node, ast.Attribute)
-                and node.attr == "_cursors"):
-            continue
-        out.append(LintFinding(
-            path, node.lineno, node.col_offset, "SAN105",
-            "._cursors is StreamTimeline-internal state; use "
-            "stream_time() to read a stream clock and wait_for() to "
-            "record ordering"))
-    return out
-
-
-def _check_san103(path: str, tree: ast.Module) -> list[LintFinding]:
-    out = []
-    for node in ast.walk(tree):
-        if not (isinstance(node, ast.Attribute)
-                and isinstance(node.value, ast.Attribute)
-                and node.value.attr == "random"
-                and isinstance(node.value.value, ast.Name)
-                and node.value.value.id in ("np", "numpy")):
-            continue
-        if node.attr in _SAFE_RANDOM:
-            continue
-        out.append(LintFinding(
-            path, node.lineno, node.col_offset, "SAN103",
-            f"np.random.{node.attr} draws from global state; use a "
-            "seeded np.random.default_rng passed down explicitly"))
-    return out
-
-
-# --------------------------------------------------------------------- #
-# driver
-# --------------------------------------------------------------------- #
-
-def lint_source(source: str, path: str) -> list[LintFinding]:
-    """Lint one module's source text (``path`` is for reporting and the
-    package-based exemptions)."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [LintFinding(path, exc.lineno or 1, exc.offset or 0,
-                            "SAN000", f"syntax error: {exc.msg}")]
-    per_line, module_allow = _suppressions(source)
-    parts = Path(path).parts
-    skip_san101 = "gpusim" in parts or "sanitize" in parts
-    skip_san103 = "generators" in parts
-    skip_san104 = "gpusim" in parts or "runtime" in parts
-    skip_san105 = "runtime" in parts
-
-    findings: list[LintFinding] = []
-    scopes: list[ast.AST | list[ast.AST]] = [_module_scope_roots(tree)]
-    scopes += _outermost_functions(tree)
-    for scope in scopes:
-        nodes = _scope_nodes(scope)
-        if not skip_san101:
-            findings += _check_san101(path, nodes, scope)
-        findings += _check_san102(path, nodes)
-    if not skip_san103:
-        findings += _check_san103(path, tree)
-    if not skip_san104:
-        findings += _check_san104(path, tree)
-    if not skip_san105:
-        findings += _check_san105(path, tree)
-
-    findings = [f for f in findings
-                if f.rule not in module_allow
-                and f.rule not in per_line.get(f.line, set())]
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
-    return findings
-
-
-def lint_file(path: str | Path) -> list[LintFinding]:
+def lint_file(path: str | Path) -> list[Finding]:
     path = Path(path)
     return lint_source(path.read_text(), str(path))
 
 
-def lint_paths(paths: list[str]) -> list[LintFinding]:
+def lint_paths(paths: list[str]) -> list[Finding]:
     """Lint every ``.py`` under each path (files are linted directly)."""
-    findings: list[LintFinding] = []
-    for spec in paths:
-        p = Path(spec)
-        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
-        for f in files:
-            findings += lint_file(f)
-    return findings
+    result = analyze_paths(paths, checks=LEGACY_RULES)
+    return sorted(result.errors + result.findings)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Static simulator-invariant checks (SAN101-SAN105).")
+        description="Static simulator-invariant checks (SAN100-SAN105); "
+                    "see repro-analyze for the full rule set.")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--list-rules", action="store_true",
@@ -405,11 +67,16 @@ def main(argv: list[str] | None = None) -> int:
         for rule, summary in sorted(RULES.items()):
             print(f"{rule}  {summary}")
         return 0
-    findings = lint_paths(ns.paths)
-    for finding in findings:
+    result = analyze_paths(ns.paths, checks=LEGACY_RULES)
+    for finding in sorted(result.errors + result.findings):
         print(finding.format())
-    if findings:
-        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+    if result.errors:
+        print(f"repro-lint: {len(result.errors)} file(s) failed to parse",
+              file=sys.stderr)
+        return 2
+    if result.findings:
+        print(f"repro-lint: {len(result.findings)} finding(s)",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -1,8 +1,13 @@
-"""Smoke tests for the remaining repro-bench CLI commands (tiny scales)."""
+"""Smoke tests for the remaining repro-bench CLI commands (tiny
+scales), plus the contractual 0/1/2 exit codes of the analyzer CLIs."""
+
+import json
 
 import pytest
 
+from repro.analyze.cli import main as analyze_main
 from repro.bench.cli import main
+from repro.sanitize.lint import main as lint_main
 
 
 @pytest.fixture(autouse=True)
@@ -39,3 +44,86 @@ class TestCliCommands:
         assert (tmp_path / "figure1.csv").exists()
         out = capsys.readouterr().out
         assert "FIGURE 1" in out
+
+
+_CLEAN = "def f(x):\n    return x + 1\n"
+_DIRTY = ("def f(tl):\n"
+          "    tl.wait_for(1, 1)\n")
+_LEGACY_DIRTY = "import numpy as np\nv = np.random.rand(3)\n"
+_BROKEN = "def broken(:\n"
+
+
+class TestAnalyzeExitCodes:
+    """The 0/1/2 contract shared by repro-analyze and repro-lint:
+    0 clean, 1 findings (or stale baseline entries), 2 usage/parse."""
+
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        def write(name, source):
+            path = tmp_path / name
+            path.write_text(source)
+            return str(path)
+        return write
+
+    def test_clean_exits_zero(self, tree, capsys):
+        assert analyze_main([tree("clean.py", _CLEAN)]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tree, capsys):
+        assert analyze_main([tree("dirty.py", _DIRTY)]) == 1
+        assert "SAN202" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, tree, capsys):
+        assert analyze_main([tree("broken.py", _BROKEN)]) == 2
+        assert "SAN000" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tree, capsys):
+        assert analyze_main([tree("clean.py", _CLEAN),
+                             "--rules", "SAN777"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_update_baseline_requires_baseline(self, tree, capsys):
+        assert analyze_main([tree("clean.py", _CLEAN),
+                             "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_two(self, tree, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{nope")
+        assert analyze_main([tree("clean.py", _CLEAN),
+                             "--baseline", str(bad)]) == 2
+
+    def test_baseline_gates_known_findings_to_zero(self, tree, tmp_path):
+        dirty = tree("dirty.py", _DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert analyze_main([dirty, "--baseline", str(baseline),
+                             "--update-baseline"]) == 0
+        assert analyze_main([dirty, "--baseline", str(baseline)]) == 0
+
+    def test_stale_baseline_entry_exits_one(self, tree, tmp_path, capsys):
+        dirty = tree("dirty.py", _DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert analyze_main([dirty, "--baseline", str(baseline),
+                             "--update-baseline"]) == 0
+        (tmp_path / "dirty.py").write_text(_CLEAN)  # debt fixed
+        assert analyze_main([dirty, "--baseline", str(baseline)]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_sarif_output_written_on_findings(self, tree, tmp_path):
+        out = tmp_path / "analysis.sarif"
+        assert analyze_main([tree("dirty.py", _DIRTY), "--format",
+                             "sarif", "--output", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "SAN202"
+
+    def test_lint_shim_same_contract(self, tree, capsys):
+        assert lint_main([tree("clean.py", _CLEAN)]) == 0
+        assert lint_main([tree("legacy.py", _LEGACY_DIRTY)]) == 1
+        assert "SAN103" in capsys.readouterr().out
+        assert lint_main([tree("broken.py", _BROKEN)]) == 2
+
+    def test_lint_shim_ignores_new_rules(self, tree):
+        # Path-sensitive SAN2xx findings are repro-analyze's job; the
+        # legacy shim must not start failing on them.
+        assert lint_main([tree("dirty.py", _DIRTY)]) == 0

@@ -45,7 +45,8 @@ class TestSummarySchema:
         doc = json.loads((Path(bundle.out_dir) / "summary.json").read_text())
         assert doc["format"] == SUMMARY_FORMAT
         assert set(doc["sections"]) == {"table1", "figure1", "serve",
-                                        "serve_scale", "wallclock", "tune"}
+                                        "serve_scale", "wallclock", "tune",
+                                        "analyze"}
         for section in doc["sections"].values():
             assert isinstance(section["ok"], bool)
         assert doc["volatile_keys"] == sorted(VOLATILE_KEYS)
@@ -89,7 +90,7 @@ class TestSummarySchema:
         assert "Verdict: PASS" in text
         for heading in ("Manifest", "Table I", "Figure 1", "Serving",
                         "Serve-scale", "Engine wall-clock", "Autotune",
-                        "Artifacts"):
+                        "Static analysis", "Artifacts"):
             assert heading in text
         for filename in ARTIFACT_FILES:
             assert filename in text
@@ -106,7 +107,7 @@ class TestDeterminism:
             json.dumps(b, sort_keys=True, default=str)
         # The purely-simulated artifacts are byte-identical outright.
         for name in ("table1.csv", "figure1.csv", "BENCH_serve.json",
-                     "tuned.json", "serve_jobs.csv"):
+                     "tuned.json", "serve_jobs.csv", "analysis.sarif"):
             assert (Path(bundle.out_dir) / name).read_text() == \
                 (tmp_path / name).read_text(), name
 

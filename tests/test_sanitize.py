@@ -423,6 +423,32 @@ class TestLint:
     def test_san103_legacy_api(self):
         assert self._rules(_SAN103_BAD) == ["SAN103", "SAN103"]
 
+    def test_san103_from_numpy_import_random(self):
+        # The module-object alias: `from numpy import random` makes
+        # `random.rand` the same global-state draw as `np.random.rand`.
+        src = ("from numpy import random\n"
+               "v = random.rand(3)\n")
+        assert self._rules(src) == ["SAN103"]
+
+    def test_san103_from_numpy_random_import_member(self):
+        # The member alias: the legacy function imported directly.
+        src = ("from numpy.random import rand\n"
+               "v = rand(3)\n")
+        assert self._rules(src) == ["SAN103"]
+
+    def test_san103_aliased_spellings(self):
+        src = ("from numpy import random as npr\n"
+               "from numpy.random import rand as draw\n"
+               "a = npr.rand(3)\n"
+               "b = draw(3)\n")
+        assert self._rules(src) == ["SAN103", "SAN103"]
+
+    def test_san103_safe_members_not_flagged_via_alias(self):
+        src = ("from numpy.random import default_rng\n"
+               "rng = default_rng(0)\n"
+               "v = rng.random(3)\n")
+        assert self._rules(src) == []
+
     def test_san103_safe_spellings(self):
         assert self._rules(_SAN103_GOOD) == []
 
@@ -443,6 +469,19 @@ class TestLint:
         src = _SAN101_BAD.replace("buf.data[0]",
                                   "buf.data[0]  # san-ok: SAN102")
         assert self._rules(src) == ["SAN101"]
+
+    def test_bare_san_ok_is_san100_error(self):
+        # A suppression naming no rule waives nothing — and is itself
+        # a finding, so it cannot rot silently.
+        assert self._rules("x = 1  # san-ok\n") == ["SAN100"]
+
+    def test_bare_allow_is_san100_error(self):
+        assert self._rules("# repro-lint: allow=\nx = 1\n") == ["SAN100"]
+
+    def test_bare_san_ok_does_not_suppress(self):
+        src = _SAN101_BAD.replace("buf.data[0]",
+                                  "buf.data[0]  # san-ok")
+        assert sorted(self._rules(src)) == ["SAN100", "SAN101"]
 
     def test_finding_location_format(self):
         finding = lint_source(_SAN101_BAD, "x.py")[0]
