@@ -14,6 +14,7 @@ Examples::
     repro-bench serve --tuned configs/tuned.json   # with autotuned configs
     repro-bench serve-scale             # control-plane overload bench
     repro-bench tune --config configs/sweep.toml   # autotune the sweep grid
+    repro-bench kernelzoo --out BENCH_kernelzoo.json  # auto-pick calibration
     repro-bench reproduce --preset tiny # one-command artifact bundle
     repro-bench all --csv out_dir       # everything + CSV dumps
 
@@ -38,7 +39,7 @@ from repro.runtime import kernel_names
 _COMMANDS = ("table1", "table2", "figure1", "ablations", "gridsearch",
              "inputformat", "multigpu", "baselines", "related", "profile",
              "sweep", "serve", "serve-scale", "wallclock", "overlap",
-             "sanitize", "analyze", "tune", "reproduce", "all")
+             "kernelzoo", "sanitize", "analyze", "tune", "reproduce", "all")
 #: ``all`` expands to every experiment except the bundle (which would
 #: re-run everything a second time into ``artifacts/``) and the static
 #: analyzer (which needs the repo checkout, not an installed package).
@@ -85,8 +86,9 @@ def _parser() -> argparse.ArgumentParser:
                    help="serve-scale: allowed plane-p99 drift factor vs "
                         "the baseline (default: %(default)s)")
     p.add_argument("--out", metavar="FILE",
-                   help="wallclock/overlap/serve-scale: also write the "
-                        "report as JSON (e.g. BENCH_kernel.json)")
+                   help="wallclock/overlap/serve-scale/kernelzoo: also "
+                        "write the report as JSON "
+                        "(e.g. BENCH_kernel.json)")
     p.add_argument("--repeats", type=int, default=3, metavar="N",
                    help="wallclock: timed runs per engine per row "
                         "(default: %(default)s)")
@@ -99,9 +101,10 @@ def _parser() -> argparse.ArgumentParser:
                    help="wallclock: exit nonzero if any row's "
                         "compacted-vs-lockstep speedup is below X")
     p.add_argument("--baseline", metavar="FILE",
-                   help="wallclock/overlap: committed BENCH_*.json to "
-                        "regression-check against (speedup drift for "
-                        "wallclock, exact simulated ms for overlap)")
+                   help="wallclock/overlap/kernelzoo: committed "
+                        "BENCH_*.json to regression-check against "
+                        "(speedup drift for wallclock, exact simulated "
+                        "ms for overlap/kernelzoo)")
     p.add_argument("--baseline-tolerance", type=float, default=1.5,
                    metavar="X",
                    help="wallclock: allowed speedup drift factor vs the "
@@ -345,9 +348,13 @@ def main(argv: list[str] | None = None) -> int:
                   f"required {args.min_speedup:.2f}x")
             return 1
         if args.baseline:
-            from repro.bench.wallclock import baseline_problems
+            from repro.bench.wallclock import (baseline_new_rows,
+                                               baseline_problems)
             with open(args.baseline) as fh:
                 baseline_doc = json.load(fh)
+            for cell in baseline_new_rows(report, baseline_doc):
+                print(f"  baseline-check: {cell}: new cell (not in "
+                      "baseline; adopted at the next regeneration)")
             drift = baseline_problems(report, baseline_doc,
                                       tolerance=args.baseline_tolerance)
             for p in drift:
@@ -393,6 +400,38 @@ def main(argv: list[str] | None = None) -> int:
             if ov_problems:
                 print(f"  FAIL: simulated schedule diverged from "
                       f"{args.baseline}")
+                return 1
+            print(f"  baseline check passed ({args.baseline})")
+
+    if "kernelzoo" in commands:
+        from repro.bench.kernelzoo import baseline_problems as kz_drift
+        from repro.bench.kernelzoo import run_kernelzoo
+        print("\n=== kernelzoo — per-kernel timings over the "
+              "calibration zoo ===")
+        report = run_kernelzoo(
+            seed=args.seed,
+            progress=lambda c: print("  " + c.summary(), flush=True))
+        gate_problems = report.problems()
+        for p in gate_problems:
+            print("  gate-check:", p)
+        if gate_problems:
+            print("  FAIL: kernelzoo identity/self-consistency violated")
+            return 1
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(report.json_str())
+            print(f"  wrote {args.out}")
+        _write(args.csv, "kernelzoo.json", report.json_str())
+        if args.baseline:
+            with open(args.baseline) as fh:
+                baseline_doc = json.load(fh)
+            kz_problems = kz_drift(report, baseline_doc)
+            for p in kz_problems:
+                print("  baseline-check:", p)
+            if kz_problems:
+                print(f"  FAIL: calibration diverged from {args.baseline}; "
+                      "regenerate it deliberately if the timing model "
+                      "changed")
                 return 1
             print(f"  baseline check passed ({args.baseline})")
 

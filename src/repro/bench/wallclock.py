@@ -186,8 +186,10 @@ def run_row(name: str, scale: float | None, *, kernel: str = "merge",
 
     ``kernel`` is a :func:`repro.runtime.get_kernel` registry name —
     ``merge`` (the default two-pointer row set ``BENCH_kernel.json``
-    commits), ``warp_intersect`` (the Section V comparator) or ``local``
-    (the per-vertex accumulation variant).  The timed region is the
+    commits), ``binary_search`` / ``hash`` (the probing intersection
+    strategies), ``warp_intersect`` (the Section V comparator) or
+    ``local`` (the per-vertex accumulation variant).  The timed region
+    is the
     kernel body only: the engine is prebuilt and the ``local`` kernel's
     per-vertex accumulator is allocated once and re-zeroed outside the
     timer, so cells stay comparable across kernels.
@@ -202,7 +204,9 @@ def run_row(name: str, scale: float | None, *, kernel: str = "merge",
     device = DEVICES[device_name]
     launch.validate(device)
 
-    kernel_field = ("warp_intersect" if spec.name == "warp_intersect"
+    # The registry is the source of truth for the options field; specs
+    # without one (``local``) run the merge drivers under two_pointer.
+    kernel_field = (spec.option_field if spec.option_field is not None
                     else "two_pointer")
     pres = {}
     for engine_name in ("lockstep", "compacted"):
@@ -214,7 +218,7 @@ def run_row(name: str, scale: float | None, *, kernel: str = "merge",
                                    np.zeros(max(graph.num_nodes, 1),
                                             np.int64))
                       if spec.per_vertex else None)
-        pres[engine_name] = (opts, pre, per_vertex)
+        pres[engine_name] = (opts, pre, per_vertex, memory)
 
     runs: dict[str, list] = {"lockstep": [], "compacted": []}
     baseline = None
@@ -223,13 +227,14 @@ def run_row(name: str, scale: float | None, *, kernel: str = "merge",
     for _ in range(repeats):
         per_rep = {}
         for engine_name in ("lockstep", "compacted"):
-            opts, pre, per_vertex = pres[engine_name]
+            opts, pre, per_vertex, memory = pres[engine_name]
             engine = build_engine(device, opts)
             if per_vertex is not None:
                 per_vertex.data[:] = 0   # fresh accumulator, untimed
             t0 = perf_counter()
             result = dispatch_kernel(spec, engine, pre, opts,
-                                     per_vertex_buf=per_vertex)
+                                     per_vertex_buf=per_vertex,
+                                     memory=memory)
             runs[engine_name].append(perf_counter() - t0)
             per_rep[engine_name] = (result.triangles,
                                     _counters_of(engine))
@@ -243,11 +248,12 @@ def run_row(name: str, scale: float | None, *, kernel: str = "merge",
     # One untimed, profiled compacted run for phase attribution.
     profiler = HostProfiler()
     with host_profiling(profiler):
-        opts, pre, per_vertex = pres["compacted"]
+        opts, pre, per_vertex, memory = pres["compacted"]
         engine = build_engine(device, opts)
         if per_vertex is not None:
             per_vertex.data[:] = 0
-        dispatch_kernel(spec, engine, pre, opts, per_vertex_buf=per_vertex)
+        dispatch_kernel(spec, engine, pre, opts, per_vertex_buf=per_vertex,
+                        memory=memory)
 
     return WallclockRow(
         workload=name, scale=scale, kernel=spec.name,
@@ -273,8 +279,11 @@ def baseline_problems(report: WallclockReport, baseline_doc: dict,
     overhead regressions (e.g. a sanitizer hook accidentally taxing the
     sanitize-off path) wherever CI happens to run.  A measured speedup
     below ``baseline / tolerance`` is a problem; faster-than-baseline
-    never is.  Returns human-readable problem strings (empty = within
-    band).
+    never is.  A measured cell the baseline has never seen is *not* a
+    problem — newly registered kernels widen the matrix before anyone
+    can regenerate the committed file; :func:`baseline_new_rows` lists
+    those so the CLI can report them as "new" instead.  Returns
+    human-readable problem strings (empty = within band).
     """
     if tolerance < 1.0:
         raise ReproError(f"tolerance must be >= 1.0, got {tolerance}")
@@ -285,9 +294,7 @@ def baseline_problems(report: WallclockReport, baseline_doc: dict,
     for row in report.rows:
         want = baseline.get((row.workload, row.scale, row.kernel))
         if want is None:
-            problems.append(f"{row.workload} scale={row.scale} "
-                            f"kernel={row.kernel}: no matching baseline row")
-            continue
+            continue  # a new cell, not a regression — see baseline_new_rows
         floor = want / tolerance
         if row.speedup < floor:
             problems.append(
@@ -295,6 +302,18 @@ def baseline_problems(report: WallclockReport, baseline_doc: dict,
                 f"speedup {row.speedup:.2f}x below {floor:.2f}x "
                 f"(baseline {want:.2f}x / tolerance {tolerance:g})")
     return problems
+
+
+def baseline_new_rows(report: WallclockReport,
+                      baseline_doc: dict) -> list[str]:
+    """Measured ``(workload, scale, kernel)`` cells absent from the
+    committed baseline — informational, not failures (the next
+    regeneration of ``BENCH_kernel.json`` adopts them)."""
+    baseline = {(row["workload"], row["scale"], row.get("kernel", "merge"))
+                for row in baseline_doc.get("rows", [])}
+    return [f"{row.workload} scale={row.scale} kernel={row.kernel}"
+            for row in report.rows
+            if (row.workload, row.scale, row.kernel) not in baseline]
 
 
 def run_wallclock(rows=DEFAULT_ROWS, *, kernels=("merge",),

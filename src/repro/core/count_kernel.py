@@ -5,20 +5,24 @@ paper's CUDA listing:
 
 * each lane owns the arcs ``i ≡ lane (mod total_threads)`` (the
   grid-stride loop);
-* one *setup* block per arc loads the arc's endpoints, four node-array
-  entries and the two initial adjacency values (the kernel's
-  ``int a = edge[u_it], b = edge[v_it];`` — note these loads are issued
-  even when a list is empty, exactly as compiled);
-* then *merge* iterations run until **every** lane of the warp has
-  exhausted its intersection — lanes that finish early sit masked-out
-  (that is the divergence the Section III-D5 warp-size trick reduces);
-* the loop body comes in the paper's two variants (Section III-D3):
-  ``final`` re-reads only the pointer(s) that advanced, ``preliminary``
-  reads both list heads every iteration.
+* one *setup* block per arc loads the arc's endpoints and four
+  node-array entries, then hands the lane to the launch's
+  :class:`~repro.core.intersect.IntersectionStrategy` — the pluggable
+  set-intersection algorithm (merge / binary_search / hash) that owns
+  the per-lane registers and the initial loads (for the paper's merge,
+  the kernel's unconditional ``int a = edge[u_it], b = edge[v_it];``);
+* then *intersection steps* run until **every** lane of the warp has
+  exhausted its work — lanes that finish early sit masked-out (that is
+  the divergence the Section III-D5 warp-size trick reduces);
+* the merge strategy's loop body comes in the paper's two variants
+  (Section III-D3): ``final`` re-reads only the pointer(s) that
+  advanced, ``preliminary`` reads both list heads every iteration.
 
-All adjacency walks read the *first* (adjacency-content) column through
-the engine's cache hierarchy; this kernel is the entire source of the
-Table II counters.
+This module is the **lockstep driver**: it owns the grid-stride
+cursor, warp phase machine, divergence masking and all step
+accounting, while the strategy owns what one step does.  All adjacency
+walks read through the engine's cache hierarchy; the merge strategy
+here is the entire source of the Table II counters.
 
 Both engine variants are held sanitizer-clean — no out-of-bounds index
 (the Section III-D3 pad slot absorbs the one-past-the-end reads of the
@@ -35,12 +39,12 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.core.intersect import check_per_vertex, strategy_for_options
 from repro.core.options import GpuOptions
 from repro.core.preprocess import PreprocessResult
 from repro.errors import ReproError
-from repro.gpusim.memory import DeviceBuffer
+from repro.gpusim.memory import DeviceBuffer, DeviceMemory
 from repro.gpusim.simt import SimtEngine
-from repro.gpusim.timing import MERGE_INSTRUCTIONS, SETUP_INSTRUCTIONS
 
 _LOAD, _MERGE, _DONE = 0, 1, 2
 
@@ -69,6 +73,7 @@ def count_triangles_kernel(engine: SimtEngine,
                            hi: int | None = None,
                            result_buf: DeviceBuffer | None = None,
                            per_vertex_buf: DeviceBuffer | None = None,
+                           memory: DeviceMemory | None = None,
                            ) -> CountKernelResult:
     """Execute ``CountTriangles`` over arcs ``[lo, hi)`` on ``engine``.
 
@@ -76,6 +81,8 @@ def count_triangles_kernel(engine: SimtEngine,
     (default) or this module's lockstep reference — both produce
     bit-identical results and :class:`~repro.gpusim.simt.KernelReport`
     counters; only host wall-clock differs (see docs/simulator.md).
+    The intersection algorithm is selected by ``options.kernel``
+    (``two_pointer`` → merge, ``binary_search``, ``hash``).
 
     ``result_buf``, when given, receives the per-thread counts through a
     modelled device write (length must be ``engine.num_threads``).
@@ -83,7 +90,11 @@ def count_triangles_kernel(engine: SimtEngine,
     ``per_vertex_buf``, when given (length ``num_nodes``), receives one
     ``atomicAdd`` per triangle corner — the local-triangle extension the
     clustering-coefficient application needs (every match at edge
-    ``(u, v)`` with common neighbor ``w`` increments all three).
+    ``(u, v)`` with common neighbor ``w`` increments all three).  Only
+    the merge strategy supports it.
+
+    ``memory`` is required by strategies that build device-resident
+    tables (``hash``); the launch path passes it automatically.
     """
     if options.engine == "compacted":
         from repro.core.count_kernel_compacted import \
@@ -91,11 +102,13 @@ def count_triangles_kernel(engine: SimtEngine,
 
         return count_triangles_compacted(engine, pre, options, lo=lo, hi=hi,
                                          result_buf=result_buf,
-                                         per_vertex_buf=per_vertex_buf)
+                                         per_vertex_buf=per_vertex_buf,
+                                         memory=memory)
     if options.engine == "lockstep":
         return count_triangles_lockstep(engine, pre, options, lo=lo, hi=hi,
                                         result_buf=result_buf,
-                                        per_vertex_buf=per_vertex_buf)
+                                        per_vertex_buf=per_vertex_buf,
+                                        memory=memory)
     # Unreachable through GpuOptions (validated eagerly), but duck-typed
     # options must not silently fall back to the lockstep reference.
     from repro.core.options import ENGINES
@@ -110,8 +123,9 @@ def count_triangles_lockstep(engine: SimtEngine,
                              hi: int | None = None,
                              result_buf: DeviceBuffer | None = None,
                              per_vertex_buf: DeviceBuffer | None = None,
+                             memory: DeviceMemory | None = None,
                              ) -> CountKernelResult:
-    """The full-grid lockstep reference — the equivalence oracle the
+    """The full-grid lockstep driver — the equivalence oracle the
     compacted engine is validated against (per-lane state in full-``T``
     arrays, every tick scans the whole grid)."""
     m = pre.num_forward_arcs
@@ -119,13 +133,16 @@ def count_triangles_lockstep(engine: SimtEngine,
     if not (0 <= lo <= hi <= m):
         raise ReproError(f"arc range [{lo}, {hi}) outside [0, {m})")
 
+    strategy = strategy_for_options(options)
+    track_corners = check_per_vertex(strategy, per_vertex_buf)
+    ctx = strategy.prepare(engine, pre, options, memory, compacted=False)
+
     unzipped = pre.aos is None
     if unzipped:
         adj, keys = pre.adj, pre.keys
     else:
         adj = keys = pre.aos
     node = pre.node
-    final_variant = options.merge_variant == "final"
 
     T = engine.num_threads
     ws = engine.warp_size
@@ -133,17 +150,13 @@ def count_triangles_lockstep(engine: SimtEngine,
     tid = np.arange(T, dtype=np.int64)
     warp_of = tid // ws
 
-    # Per-lane registers.
+    # Per-lane registers: the arc cursor, the count, and one full-grid
+    # vector per strategy register.
     cur = lo + tid.copy()
-    u_it = np.zeros(T, np.int64)
-    u_end = np.zeros(T, np.int64)
-    v_it = np.zeros(T, np.int64)
-    v_end = np.zeros(T, np.int64)
-    a = np.zeros(T, np.int64)
-    b = np.zeros(T, np.int64)
+    regs_full = {name: np.zeros(T, np.int64)
+                 for name in strategy.registers}
     count = np.zeros(T, np.uint64)
-    merge_active = np.zeros(T, bool)
-    track_corners = per_vertex_buf is not None
+    active = np.zeros(T, bool)
     if track_corners:
         lane_u = np.zeros(T, np.int64)
         lane_v = np.zeros(T, np.int64)
@@ -152,120 +165,108 @@ def count_triangles_lockstep(engine: SimtEngine,
     ticks = 0
     prof = engine.host_profiler
 
-    def _adj_read(indices: np.ndarray, lanes: np.ndarray) -> np.ndarray:
-        """Adjacency-content read: ``edge[idx]`` (stride-2 in AoS mode)."""
-        if unzipped:
-            return engine.read(adj, indices, lanes)
-        return engine.read(adj, 2 * indices, lanes)
+    try:
+        while (warp_phase != _DONE).any():
+            ticks += 1
 
-    while (warp_phase != _DONE).any():
-        ticks += 1
+            # -------------- setup (the for-loop body head) ------------ #
+            load_w = warp_phase == _LOAD
+            if load_w.any():
+                t0 = perf_counter() if prof is not None else 0.0
+                in_load = load_w[warp_of]
+                has_edge = in_load & (cur < hi)
+                lanes = tid[has_edge]
+                if len(lanes):
+                    e = cur[lanes]
+                    if unzipped:
+                        u = engine.read(adj, e, lanes)     # edge[i]
+                        v = engine.read(keys, e, lanes)    # edge[m + i]
+                    else:
+                        u = engine.read(adj, 2 * e, lanes)
+                        v = engine.read(keys, 2 * e + 1, lanes)
+                    u = u.astype(np.int64)
+                    v = v.astype(np.int64)
+                    # The four node-array loads issue back to back;
+                    # batching them into one engine call keeps the same
+                    # cache behaviour (same-line repeats are hits either
+                    # way).
+                    k = len(lanes)
+                    node_idx = np.concatenate([u, u + 1, v, v + 1])
+                    node_lanes = np.concatenate([lanes, lanes, lanes,
+                                                 lanes])
+                    nvals = engine.read(node, node_idx,
+                                        node_lanes).astype(np.int64)
+                    nu, nu1, nv, nv1 = (nvals[:k], nvals[k:2 * k],
+                                        nvals[2 * k:3 * k], nvals[3 * k:])
+                    if track_corners:
+                        lane_u[lanes] = u
+                        lane_v[lanes] = v
+                    cols, mact = strategy.begin(ctx, lanes, u, v,
+                                                nu, nu1, nv, nv1)
+                    for name in strategy.registers:
+                        regs_full[name][lanes] = cols[name]
+                    active[lanes] = mact
+                    engine.end_step("setup", lanes,
+                                    strategy.setup_instructions)
+                # Warp transitions: lanes without a current arc idle
+                # through the intersection (masked); warps with no arcs
+                # at all are done.
+                had = has_edge.reshape(W, ws).any(axis=1)
+                warp_phase[load_w & had] = _MERGE
+                warp_phase[load_w & ~had] = _DONE
+                if prof is not None:
+                    prof.add("setup", perf_counter() - t0)
 
-        # ---------------- setup (the for-loop body head) ---------------- #
-        load_w = warp_phase == _LOAD
-        if load_w.any():
-            t0 = perf_counter() if prof is not None else 0.0
-            in_load = load_w[warp_of]
-            has_edge = in_load & (cur < hi)
-            lanes = tid[has_edge]
-            if len(lanes):
-                e = cur[lanes]
-                if unzipped:
-                    u = engine.read(adj, e, lanes)        # edge[i]
-                    v = engine.read(keys, e, lanes)       # edge[m + i]
-                else:
-                    u = engine.read(adj, 2 * e, lanes)
-                    v = engine.read(keys, 2 * e + 1, lanes)
-                u = u.astype(np.int64)
-                v = v.astype(np.int64)
-                # The four node-array loads issue back to back; batching
-                # them into one engine call keeps the same cache
-                # behaviour (same-line repeats are hits either way).
-                k = len(lanes)
-                node_idx = np.concatenate([u, u + 1, v, v + 1])
-                node_lanes = np.concatenate([lanes, lanes, lanes, lanes])
-                nvals = engine.read(node, node_idx, node_lanes).astype(np.int64)
-                nu, nu1, nv, nv1 = (nvals[:k], nvals[k:2 * k],
-                                    nvals[2 * k:3 * k], nvals[3 * k:])
-                u_it[lanes] = nu
-                u_end[lanes] = nu1
-                v_it[lanes] = nv
-                v_end[lanes] = nv1
-                if track_corners:
-                    lane_u[lanes] = u
-                    lane_v[lanes] = v
-                # Unconditional initial loads, as in the listing.
-                ab = _adj_read(np.concatenate([nu, nv]),
-                               np.concatenate([lanes, lanes]))
-                a[lanes] = ab[:k]
-                b[lanes] = ab[k:]
-                merge_active[lanes] = (nu < nu1) & (nv < nv1)
-                engine.end_step("setup", lanes, SETUP_INSTRUCTIONS)
-            # Warp transitions: lanes without a current arc idle through
-            # the merge (masked); warps with no arcs at all are done.
-            had = has_edge.reshape(W, ws).any(axis=1)
-            warp_phase[load_w & had] = _MERGE
-            warp_phase[load_w & ~had] = _DONE
-            if prof is not None:
-                prof.add("setup", perf_counter() - t0)
+            # -------------- intersection steps (the while loop) ------- #
+            merge_w = warp_phase == _MERGE
+            if merge_w.any():
+                t0 = perf_counter() if prof is not None else 0.0
+                act = active & merge_w[warp_of]
+                lanes = tid[act]
+                if len(lanes):
+                    regs = {name: regs_full[name][lanes]
+                            for name in strategy.registers}
+                    cnt = count[lanes]
+                    if track_corners:
+                        def on_match(idx: np.ndarray,
+                                     values: np.ndarray) -> None:
+                            matched = lanes[idx]
+                            # Three atomicAdds per triangle: u, v, and
+                            # the common neighbor (the matched value).
+                            # Deliberate data-indexed atomics (one per
+                            # corner), well-defined by atomicAdd
+                            # semantics.
+                            corners = np.concatenate(
+                                [lane_u[matched], lane_v[matched],
+                                 values])
+                            engine.atomic_add(  # san-ok: SAN201
+                                per_vertex_buf, corners,
+                                np.ones(len(corners), np.int64),
+                                np.concatenate([matched] * 3))
+                    else:
+                        on_match = None
+                    still = strategy.step(ctx, regs, lanes, cnt, on_match)
+                    for name in strategy.registers:
+                        regs_full[name][lanes] = regs[name]
+                    count[lanes] = cnt
+                    active[lanes] = still
+                    engine.end_step(strategy.step_kind, lanes,
+                                    strategy.step_instructions)
 
-        # ---------------- merge (the while loop) ------------------------ #
-        merge_w = warp_phase == _MERGE
-        if merge_w.any():
-            t0 = perf_counter() if prof is not None else 0.0
-            act = merge_active & merge_w[warp_of]
-            lanes = tid[act]
-            if len(lanes):
-                if not final_variant:
-                    # Preliminary variant: both list heads re-read every
-                    # iteration (two loads per active lane).
-                    ab = _adj_read(np.concatenate([u_it[lanes], v_it[lanes]]),
-                                   np.concatenate([lanes, lanes]))
-                    a[lanes] = ab[:len(lanes)]
-                    b[lanes] = ab[len(lanes):]
-                d = a[lanes] - b[lanes]
-                count[lanes] += (d == 0).astype(np.uint64)
-                if track_corners and (d == 0).any():
-                    matched = lanes[d == 0]
-                    # Three atomicAdds per triangle: u, v, and the
-                    # common neighbor (the matched value).
-                    corners = np.concatenate([lane_u[matched],
-                                              lane_v[matched],
-                                              a[matched]])
-                    # Deliberate data-indexed atomics (one per corner),
-                    # well-defined by atomicAdd semantics.
-                    engine.atomic_add(per_vertex_buf, corners,  # san-ok: SAN201
-                                      np.ones(len(corners), np.int64),
-                                      np.concatenate([matched] * 3))
-                adv_u = lanes[d <= 0]
-                adv_v = lanes[d >= 0]
-                u_it[adv_u] += 1
-                v_it[adv_v] += 1
-                if final_variant:
-                    # Final variant: read only what advanced — one load
-                    # per iteration unless a triangle was found.  These
-                    # loads land one past the end when a list is
-                    # exhausted; the adjacency buffer carries a pad slot
-                    # for exactly this (Section III-D3).
-                    vals = _adj_read(
-                        np.concatenate([u_it[adv_u], v_it[adv_v]]),
-                        np.concatenate([adv_u, adv_v]))
-                    a[adv_u] = vals[:len(adv_u)]
-                    b[adv_v] = vals[len(adv_u):]
-                merge_active[lanes] = ((u_it[lanes] < u_end[lanes]) &
-                                       (v_it[lanes] < v_end[lanes]))
-                engine.end_step("merge", lanes, MERGE_INSTRUCTIONS)
-
-            # Warps whose lanes have all finished reconverge at the end of
-            # the for-loop body: advance to the next grid-stride arc.
-            still = (merge_active & merge_w[warp_of]).reshape(W, ws).any(axis=1)
-            finished_w = merge_w & ~still
-            if finished_w.any():
-                fin_lanes = finished_w[warp_of]
-                cur[fin_lanes] += T
-                warp_phase[finished_w] = _LOAD
-            if prof is not None:
-                prof.add("merge", perf_counter() - t0)
+                # Warps whose lanes have all finished reconverge at the
+                # end of the for-loop body: advance to the next
+                # grid-stride arc.
+                still_w = (active & merge_w[warp_of]).reshape(
+                    W, ws).any(axis=1)
+                finished_w = merge_w & ~still_w
+                if finished_w.any():
+                    fin_lanes = finished_w[warp_of]
+                    cur[fin_lanes] += T
+                    warp_phase[finished_w] = _LOAD
+                if prof is not None:
+                    prof.add(strategy.step_kind, perf_counter() - t0)
+    finally:
+        strategy.finish(ctx)
 
     triangles = int(count.sum())
     if result_buf is not None:

@@ -1,7 +1,7 @@
 """Active-set-compacted execution of ``CountTriangles``.
 
 Same simulated machine as :mod:`repro.core.count_kernel`'s lockstep
-reference, different *host* data layout.  The lockstep engine keeps
+driver, different *host* data layout.  The lockstep engine keeps
 per-lane registers in full-grid arrays indexed by all ``T`` global lane
 ids and rescans them every tick; late in a skewed graph that means
 scanning thousands of finished lanes to find the handful still merging.
@@ -11,18 +11,24 @@ This engine instead keeps
   ``rounds`` / ``remaining`` arrays plus an ``alive`` counter; a warp
   in ``_DONE`` costs nothing ever again;
 * a **compact lane pool** — the registers of exactly the lanes whose
-  intersection is still running (``u_it/u_end/v_it/v_end/a/b/count``),
-  packed dense in preallocated backing arrays.  Lanes are appended when
-  their warp's setup block runs and filtered out (with their ``count``
-  scattered back to the full per-thread array) the iteration they
-  exhaust — so every merge tick is a handful of dense vector ops over
-  the live lanes, with no full-grid masks and no fancy-indexing into
-  2-D register files;
-* a **fused merge stepper** — whenever no live warp is in ``_LOAD``
-  (the dominant regime: one setup tick per arc batch, then many merge
-  ticks), the inner loop runs merge iterations back to back without
+  intersection is still running (one pool column per register of the
+  launch's :class:`~repro.core.intersect.IntersectionStrategy`, plus
+  the lane id and count), packed dense in preallocated backing arrays.
+  Lanes are appended when their warp's setup block runs and filtered
+  out (with their ``count`` scattered back to the full per-thread
+  array) the iteration they exhaust — so every step tick is a handful
+  of dense vector ops over the live lanes, with no full-grid masks and
+  no fancy-indexing into 2-D register files;
+* a **fused stepper** — whenever no live warp is in ``_LOAD`` (the
+  dominant regime: one setup tick per arc batch, then many step
+  ticks), the inner loop runs intersection steps back to back without
   re-deriving anything, returning to the setup path only when a warp
   reconverges.
+
+The intersection algorithm itself — register file, initial loads, what
+one step does — lives in the strategy (merge / binary_search / hash);
+this module is the driver: arc cursors, phase machine, pool
+compaction, and all ``end_step_warps`` accounting.
 
 The memory model runs through the engine's fused fast path
 (:meth:`~repro.gpusim.simt.SimtEngine.read_compacted` /
@@ -34,7 +40,7 @@ hit masks.
 
 Equivalence is the design contract, not an aspiration: every tick
 issues the same (index, lane) multisets, in the same per-tick grouping,
-as the lockstep reference — so coalescing, cache-state evolution, and
+as the lockstep driver — so coalescing, cache-state evolution, and
 every :class:`~repro.gpusim.simt.KernelReport` counter (including
 ``sm_instruction_slots`` and ``ticks``) are bit-identical.
 ``tests/test_engine_equivalence.py`` enforces this across the full
@@ -48,12 +54,12 @@ from time import perf_counter
 import numpy as np
 
 from repro.core.count_kernel import _DONE, _LOAD, _MERGE, CountKernelResult
+from repro.core.intersect import check_per_vertex, strategy_for_options
 from repro.core.options import GpuOptions
 from repro.core.preprocess import PreprocessResult
 from repro.errors import ReproError
-from repro.gpusim.memory import DeviceBuffer
+from repro.gpusim.memory import DeviceBuffer, DeviceMemory
 from repro.gpusim.simt import SimtEngine
-from repro.gpusim.timing import MERGE_INSTRUCTIONS, SETUP_INSTRUCTIONS
 
 
 def count_triangles_compacted(engine: SimtEngine,
@@ -63,10 +69,11 @@ def count_triangles_compacted(engine: SimtEngine,
                               hi: int | None = None,
                               result_buf: DeviceBuffer | None = None,
                               per_vertex_buf: DeviceBuffer | None = None,
+                              memory: DeviceMemory | None = None,
                               ) -> CountKernelResult:
     """Execute ``CountTriangles`` over arcs ``[lo, hi)`` — compacted path.
 
-    Drop-in equivalent of the lockstep reference (same signature, same
+    Drop-in equivalent of the lockstep driver (same signature, same
     results, same report); see the module docstring for the contract.
     """
     m = pre.num_forward_arcs
@@ -74,13 +81,17 @@ def count_triangles_compacted(engine: SimtEngine,
     if not (0 <= lo <= hi <= m):
         raise ReproError(f"arc range [{lo}, {hi}) outside [0, {m})")
 
+    strategy = strategy_for_options(options)
+    track_corners = check_per_vertex(strategy, per_vertex_buf)
+    ctx = strategy.prepare(engine, pre, options, memory, compacted=True)
+
     unzipped = pre.aos is None
     if unzipped:
         adj, keys = pre.adj, pre.keys
     else:
         adj = keys = pre.aos
     node = pre.node
-    final_variant = options.merge_variant == "final"
+    reg_names = strategy.registers
 
     T = engine.num_threads
     ws = engine.warp_size
@@ -88,7 +99,6 @@ def count_triangles_compacted(engine: SimtEngine,
     W = engine.num_warps
     prof = engine.host_profiler
     read = engine.read_compacted
-    track_corners = per_vertex_buf is not None
 
     # Worklist of live warps.  A lane's arc cursor is derived, never
     # stored: ``cur = lo + lane + rounds[warp] * T`` (the grid-stride
@@ -101,27 +111,17 @@ def count_triangles_compacted(engine: SimtEngine,
 
     # Compact lane pool: registers of the lanes mid-intersection, packed
     # dense in [0, n).  Capacity T is the hard bound (every lane of
-    # every warp merging at once).
+    # every warp intersecting at once).
     p_lane = np.empty(T, np.int64)
-    p_uit = np.empty(T, np.int64)
-    p_uend = np.empty(T, np.int64)
-    p_vit = np.empty(T, np.int64)
-    p_vend = np.empty(T, np.int64)
-    p_a = np.empty(T, np.int64)
-    p_b = np.empty(T, np.int64)
+    p_regs = {name: np.empty(T, np.int64) for name in reg_names}
     p_cnt = np.empty(T, np.uint64)
     if track_corners:
         p_lu = np.empty(T, np.int64)
         p_lv = np.empty(T, np.int64)
-    pool = [p_lane, p_uit, p_uend, p_vit, p_vend, p_a, p_b, p_cnt]
+    pool = [p_lane] + [p_regs[name] for name in reg_names] + [p_cnt]
     if track_corners:
         pool += [p_lu, p_lv]
     n = 0
-    # Scratch for the merge tick's read batch (advanced u heads then
-    # advanced v heads), filled with ``np.take(..., out=...)`` — no
-    # per-tick concatenate/boolean-mask allocations.
-    sc_idx = np.empty(2 * T, np.int64)
-    sc_lane = np.empty(2 * T, np.int64)
     # The live-warp list only changes when lanes retire or a setup tick
     # runs; cache it between those events.
     mw_cache: list = [None, None]
@@ -132,7 +132,8 @@ def count_triangles_compacted(engine: SimtEngine,
 
     def _setup_tick() -> int:
         """Setup blocks of every ``_LOAD`` warp; appends the lanes that
-        enter the merge loop to the pool.  Returns the new pool size."""
+        enter the intersection loop to the pool.  Returns the new pool
+        size."""
         nonlocal alive, n
         load_w = np.flatnonzero(phase == _LOAD)
         lanes2d = load_w[:, None] * ws + lane_off[None, :]
@@ -151,7 +152,7 @@ def count_triangles_compacted(engine: SimtEngine,
             u = u.astype(np.int64, copy=False)
             v = v.astype(np.int64, copy=False)
             # The four node-array loads issue back to back, batched into
-            # one engine call exactly like the lockstep reference.
+            # one engine call exactly like the lockstep driver.
             k = len(lanes)
             node_idx = np.empty(4 * k, np.int64)
             node_idx[:k] = u
@@ -165,28 +166,18 @@ def count_triangles_compacted(engine: SimtEngine,
                                                            copy=False)
             nu, nu1, nv, nv1 = (nvals[:k], nvals[k:2 * k],
                                 nvals[2 * k:3 * k], nvals[3 * k:])
-            # Unconditional initial loads, as in the listing.
-            if unzipped:
-                ab = read(adj, np.concatenate([nu, nv]),
-                          np.concatenate([lanes, lanes]))
-            else:
-                ab = read(adj, 2 * np.concatenate([nu, nv]),
-                          np.concatenate([lanes, lanes]))
+            cols, mact = strategy.begin(ctx, lanes, u, v, nu, nu1, nv, nv1)
             engine.end_step_warps("setup", load_w[had],
-                                  has.sum(axis=1)[had], SETUP_INSTRUCTIONS)
+                                  has.sum(axis=1)[had],
+                                  strategy.setup_instructions)
             # Pool append: only lanes with a non-empty intersection to
             # run (the rest keep their counts in ``count_full``).
-            mact = (nu < nu1) & (nv < nv1)
             k2 = int(mact.sum())
             if k2:
                 sel_lanes = lanes[mact]
                 p_lane[n:n + k2] = sel_lanes
-                p_uit[n:n + k2] = nu[mact]
-                p_uend[n:n + k2] = nu1[mact]
-                p_vit[n:n + k2] = nv[mact]
-                p_vend[n:n + k2] = nv1[mact]
-                p_a[n:n + k2] = ab[:k][mact]
-                p_b[n:n + k2] = ab[k:][mact]
+                for name in reg_names:
+                    p_regs[name][n:n + k2] = cols[name][mact]
                 p_cnt[n:n + k2] = count_full[sel_lanes]
                 if track_corners:
                     p_lu[n:n + k2] = u[mact]
@@ -195,9 +186,9 @@ def count_triangles_compacted(engine: SimtEngine,
                 np.add(remaining, np.bincount(sel_lanes >> ws_shift,
                                               minlength=W), out=remaining)
                 mw_cache[0] = None
-        # Warp transitions.  ``had`` warps enter the merge loop — except
-        # those contributing zero active lanes, which reconverge within
-        # this same tick (the lockstep reference sends them _LOAD →
+        # Warp transitions.  ``had`` warps enter the intersection loop —
+        # except those contributing zero active lanes, which reconverge
+        # within this same tick (the lockstep driver sends them _LOAD →
         # _MERGE → _LOAD with no memory trace) and so simply advance.
         w_had = load_w[had]
         entered = remaining[w_had] > 0
@@ -210,69 +201,34 @@ def count_triangles_compacted(engine: SimtEngine,
         return n
 
     def _merge_tick() -> None:
-        """One merge-loop iteration over the whole pool — the identical
-        per-iteration memory trace of one lockstep merge tick."""
+        """One intersection step over the whole pool — the identical
+        per-iteration memory trace of one lockstep step tick."""
         nonlocal n, load_pending
         lanes = p_lane[:n]
-        uit = p_uit[:n]
-        vit = p_vit[:n]
-        if not final_variant:
-            # Preliminary variant: both list heads re-read every
-            # iteration (two loads per active lane).
-            if unzipped:
-                ab = read(adj, np.concatenate([uit, vit]),
-                          np.concatenate([lanes, lanes]))
-            else:
-                ab = read(adj, 2 * np.concatenate([uit, vit]),
-                          np.concatenate([lanes, lanes]))
-            p_a[:n] = ab[:n]
-            p_b[:n] = ab[n:]
-        a = p_a[:n]
-        b = p_b[:n]
-        le = a <= b
-        ge = a >= b
-        eq = le & ge
-        p_cnt[:n] += eq
-        if track_corners and eq.any():
-            mlanes = lanes[eq]
-            # Three atomicAdds per triangle: u, v, and the common
-            # neighbor (the matched value).
-            corners = np.concatenate([p_lu[:n][eq], p_lv[:n][eq],
-                                      a[eq]])
-            # Deliberate data-indexed atomics (one per corner),
-            # well-defined by atomicAdd semantics.
-            engine.atomic_add(per_vertex_buf, corners,  # san-ok: SAN201
-                              np.ones(len(corners), np.int64),
-                              np.concatenate([mlanes, mlanes, mlanes]))
-        uit += le
-        vit += ge
-        if final_variant:
-            # Final variant: read only what advanced — one load per
-            # iteration unless a triangle was found (pad slot absorbs
-            # the one-past-the-end read, Section III-D3).
-            il = np.flatnonzero(le)
-            ig = np.flatnonzero(ge)
-            k1 = len(il)
-            kk = k1 + len(ig)
-            np.take(uit, il, out=sc_idx[:k1])
-            np.take(vit, ig, out=sc_idx[k1:kk])
-            np.take(lanes, il, out=sc_lane[:k1])
-            np.take(lanes, ig, out=sc_lane[k1:kk])
-            idx = sc_idx[:kk]
-            if not unzipped:
-                idx = 2 * idx
-            vals = read(adj, idx, sc_lane[:kk])
-            p_a[il] = vals[:k1]
-            p_b[ig] = vals[k1:kk]
+        regs = {name: p_regs[name][:n] for name in reg_names}
+        if track_corners:
+            def on_match(idx: np.ndarray, values: np.ndarray) -> None:
+                mlanes = lanes[idx]
+                # Three atomicAdds per triangle: u, v, and the common
+                # neighbor (the matched value).  Deliberate data-indexed
+                # atomics (one per corner), well-defined by atomicAdd
+                # semantics.
+                corners = np.concatenate([p_lu[:n][idx], p_lv[:n][idx],
+                                          values])
+                engine.atomic_add(  # san-ok: SAN201
+                    per_vertex_buf, corners,
+                    np.ones(len(corners), np.int64),
+                    np.concatenate([mlanes, mlanes, mlanes]))
+        else:
+            on_match = None
+        still = strategy.step(ctx, regs, lanes, p_cnt[:n], on_match)
         mw = mw_cache[0]
         if mw is None:
             mw = np.flatnonzero(remaining)
             mw_cache[0] = mw
             mw_cache[1] = remaining[mw]
-        engine.end_step_warps("merge", mw, mw_cache[1],
-                              MERGE_INSTRUCTIONS)
-        still = uit < p_uend[:n]
-        still &= vit < p_vend[:n]
+        engine.end_step_warps(strategy.step_kind, mw, mw_cache[1],
+                              strategy.step_instructions)
         new_n = int(np.count_nonzero(still))
         if new_n == n:
             return
@@ -300,32 +256,36 @@ def count_triangles_compacted(engine: SimtEngine,
             phase[reconv] = _LOAD
             load_pending = True
 
-    while alive:
-        if load_pending:
-            ticks += 1
-            t0 = perf_counter() if prof is not None else 0.0
-            _setup_tick()
-            load_pending = bool((phase == _LOAD).any())
-            if prof is not None:
-                prof.add("setup", perf_counter() - t0)
-            if n:
+    try:
+        while alive:
+            if load_pending:
+                ticks += 1
                 t0 = perf_counter() if prof is not None else 0.0
-                _merge_tick()
+                _setup_tick()
+                load_pending = bool((phase == _LOAD).any())
                 if prof is not None:
-                    prof.add("merge", perf_counter() - t0)
-            continue
-        if not n:
-            break  # unreachable: alive warps are _LOAD or mid-merge
-        # Fused merge stepping: no warp needs a setup block until one
-        # reconverges, so iterate the pool back to back.
-        t0 = perf_counter() if prof is not None else 0.0
-        fused = 0
-        while n and not load_pending:
-            ticks += 1
-            fused += 1
-            _merge_tick()
-        if prof is not None:
-            prof.add("merge", perf_counter() - t0, calls=fused)
+                    prof.add("setup", perf_counter() - t0)
+                if n:
+                    t0 = perf_counter() if prof is not None else 0.0
+                    _merge_tick()
+                    if prof is not None:
+                        prof.add(strategy.step_kind, perf_counter() - t0)
+                continue
+            if not n:
+                break  # unreachable: alive warps are _LOAD or mid-step
+            # Fused stepping: no warp needs a setup block until one
+            # reconverges, so iterate the pool back to back.
+            t0 = perf_counter() if prof is not None else 0.0
+            fused = 0
+            while n and not load_pending:
+                ticks += 1
+                fused += 1
+                _merge_tick()
+            if prof is not None:
+                prof.add(strategy.step_kind, perf_counter() - t0,
+                         calls=fused)
+    finally:
+        strategy.finish(ctx)
 
     triangles = int(count_full.sum())
     if result_buf is not None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.autopick import resolve_options
 from repro.core.options import GpuOptions
 from repro.errors import ReproError
 from repro.graphs.edgearray import EdgeArray
@@ -119,6 +120,7 @@ def gpu_count_triangles(graph: EdgeArray,
     if mode not in EXECUTION_MODES:
         raise ReproError(f"mode must be one of {EXECUTION_MODES}, "
                          f"got {mode!r}")
+    options = resolve_options(graph, options)
     plan = LaunchPlan(kernel=spec_for_options(options), graph=graph,
                       device=device, options=options, memory=memory)
     if mode == "pipelined":

@@ -66,17 +66,22 @@ def gpu_hub_counter(device=None, options=None):
     kernel per call, so the hub leg shares engine selection, sanitizer
     wiring and hostprof phases with every other pipeline.
     """
+    from repro.core.autopick import resolve_options
     from repro.core.options import GpuOptions
     from repro.gpusim.device import GTX_980
     from repro.runtime import LaunchPlan, launch, spec_for_options
 
     device = GTX_980 if device is None else device
     options = GpuOptions() if options is None else options
-    spec = spec_for_options(options)
 
     def counter(hub_graph: EdgeArray) -> int:
-        return launch(LaunchPlan(kernel=spec, graph=hub_graph,
-                                 device=device, options=options)).triangles
+        # kernel="auto" resolves against the induced hub graph (whose
+        # degree structure, not the full graph's, is what the leg runs
+        # on); explicit kernels resolve to a spec exactly once.
+        opts = resolve_options(hub_graph, options)
+        return launch(LaunchPlan(kernel=spec_for_options(opts),
+                                 graph=hub_graph, device=device,
+                                 options=opts)).triangles
 
     return counter
 

@@ -60,6 +60,9 @@ def multi_gpu_count_triangles(graph: EdgeArray,
                                    actual_count=context.count,
                                    expected_count=num_gpus)
 
+    from repro.core.autopick import resolve_options
+    options = resolve_options(graph, options)
+
     timeline = StreamTimeline()
     pre = preprocess(graph, device, context.primary, timeline, options)
 

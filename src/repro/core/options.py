@@ -16,12 +16,36 @@ from repro.gpusim.simt import LaunchConfig
 CPU_PREPROCESS_MODES = ("auto", "never", "always")
 #: Valid values for :attr:`GpuOptions.merge_variant`.
 MERGE_VARIANTS = ("final", "preliminary")
-#: Valid values for :attr:`GpuOptions.kernel`.
-KERNELS = ("two_pointer", "warp_intersect")
 #: Valid values for :attr:`GpuOptions.engine`.
 ENGINES = ("compacted", "lockstep")
 #: Valid values for :attr:`GpuOptions.sanitize`.
 SANITIZE_MODES = ("off", "report", "strict")
+
+_KERNEL_CHOICES_CACHE: tuple[str, ...] | None = None
+
+
+def _kernel_choices() -> tuple[str, ...]:
+    """Valid :attr:`GpuOptions.kernel` values, from the kernel registry.
+
+    The runtime registry is the single source of truth for kernel
+    names: every registered spec's ``option_field`` is a valid choice,
+    plus ``"auto"`` (resolved per graph by ``repro.core.autopick``).
+    Imported lazily — the registry lives above this module in the
+    layering — and cached after the first successful lookup.
+    """
+    global _KERNEL_CHOICES_CACHE
+    if _KERNEL_CHOICES_CACHE is None:
+        import repro.runtime.spec as _spec
+        _KERNEL_CHOICES_CACHE = _spec.kernel_option_fields() + ("auto",)
+    return _KERNEL_CHOICES_CACHE
+
+
+def __getattr__(name: str) -> tuple[str, ...]:
+    # Module attribute ``KERNELS`` stays importable (docs, tests, CLI
+    # help) but is computed from the registry, not hard-coded here.
+    if name == "KERNELS":
+        return _kernel_choices()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -53,10 +77,15 @@ class GpuOptions:
         the device reports out-of-memory (the ``†`` rows), ``"never"``
         raises instead, ``"always"`` forces the fallback path.
     kernel : str
-        Counting-kernel strategy: ``"two_pointer"`` is the paper's
-        thread-per-edge merge; ``"warp_intersect"`` is the Section V
+        Counting-kernel strategy, validated against the runtime kernel
+        registry (the single source of truth): ``"two_pointer"`` is the
+        paper's thread-per-edge merge; ``"binary_search"`` log-probes
+        the longer adjacency list; ``"hash"`` probes TRUST-style
+        per-vertex bucket tables; ``"warp_intersect"`` is the Section V
         comparator's warp-per-edge parallel intersection (requires the
-        SoA layout, and the "merge_variant" knob does not apply to it).
+        SoA layout); ``"auto"`` lets ``repro.core.autopick`` choose per
+        graph from the committed kernelzoo calibration.  The
+        ``merge_variant`` knob applies to the merge kernels only.
     engine : str
         Host-side execution strategy of the SIMT simulator — a pure
         wall-clock knob with **no modeled effect**: ``"compacted"``
@@ -98,9 +127,10 @@ class GpuOptions:
             raise ReproError(
                 f"cpu_preprocess must be one of {CPU_PREPROCESS_MODES}, "
                 f"got {self.cpu_preprocess!r}")
-        if self.kernel not in KERNELS:
+        if self.kernel not in _kernel_choices():
             raise ReproError(
-                f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+                f"kernel must be one of {_kernel_choices()}, "
+                f"got {self.kernel!r}")
         if self.engine not in ENGINES:
             raise ReproError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}")

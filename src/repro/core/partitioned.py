@@ -57,17 +57,20 @@ def gpu_subgraph_counter(device=None, options=None):
     kernel, reduce, D2H, free) on a fresh
     :class:`~repro.gpusim.memory.DeviceMemory`.
     """
+    from repro.core.autopick import resolve_options
     from repro.core.options import GpuOptions
     from repro.gpusim.device import GTX_980
     from repro.runtime import LaunchPlan, launch, spec_for_options
 
     device = GTX_980 if device is None else device
     options = GpuOptions() if options is None else options
-    spec = spec_for_options(options)
 
     def counter(sub: EdgeArray) -> int:
-        return launch(LaunchPlan(kernel=spec, graph=sub, device=device,
-                                 options=options)).triangles
+        # kernel="auto" resolves per induced subgraph — partitions of a
+        # skewed graph can have very different degree structure.
+        opts = resolve_options(sub, options)
+        return launch(LaunchPlan(kernel=spec_for_options(opts), graph=sub,
+                                 device=device, options=opts)).triangles
 
     return counter
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.intersect import lower_bound_round
 from repro.core.options import ENGINES, GpuOptions
 from repro.core.preprocess import PreprocessResult
 from repro.errors import ReproError
@@ -172,20 +173,22 @@ def warp_intersect_kernel(engine: SimtEngine,
             else:
                 engine.end_step("chunk", lanes, CHUNK_INSTRUCTIONS)
 
-            # Vectorized per-lane binary search in the longer list.
+            # Vectorized per-lane binary search in the longer list —
+            # the same lower-bound rounds as the binary_search
+            # intersection strategy (one shared kernel, one trace).
             s_lo = long_lo[warp_of[lanes]].copy()
             s_hi = long_hi[warp_of[lanes]].copy()
+
+            def read_adj(indices: np.ndarray,
+                         req_lanes: np.ndarray) -> np.ndarray:
+                return read(adj, indices, req_lanes)
+
             while True:
-                active = s_lo < s_hi
-                if not active.any():
+                act = lower_bound_round(read_adj, s_lo, s_hi, targets,
+                                        lanes)
+                if not len(act):
                     break
-                act = np.flatnonzero(active)
-                mid = (s_lo[act] + s_hi[act]) // 2
-                vals = read(adj, mid, lanes[act]).astype(np.int64)
                 probes += len(act)
-                below = vals < targets[act]
-                s_lo[act] = np.where(below, mid + 1, s_lo[act])
-                s_hi[act] = np.where(below, s_hi[act], mid)
                 engine.end_step("search", lanes[act], SEARCH_INSTRUCTIONS)
             # Found iff the insertion point holds the target.
             in_range = s_lo < long_hi[warp_of[lanes]]

@@ -81,9 +81,56 @@ def transitivity(graph: EdgeArray) -> float:
     return 3.0 * triangle_count_matmul(graph) / wedges
 
 
+def degree_skew(graph: EdgeArray) -> float:
+    """Tail heaviness of the degree distribution (Hill-style estimate).
+
+    The mean log-ratio of the top-``k`` degrees to the largest of them,
+    ``k = max(2, ⌊√(#vertices with degree > 0)⌋)`` — the (negated) Hill
+    estimator's summand, used here as a cheap scale-free-ness score
+    rather than a tail-index fit.  Regular graphs (complete, ring
+    lattices before rewiring) score exactly ``0.0``; heavier tails score
+    higher (BA/R-MAT generators land well above Watts–Strogatz or
+    G(n,m) at the same size).  Degree-0 vertices are excluded so padding
+    isolated vertices cannot dilute the score.
+
+    This is one of the two coordinates of the kernel auto-pick
+    (:mod:`repro.core.autopick`): skew predicts how unbalanced the
+    per-edge ``|adj(u)| vs |adj(v)|`` split is, which is what separates
+    the merge kernel (linear in both) from binary-search/hash probing
+    (loops over the shorter side only).
+    """
+    deg = graph.degrees()
+    deg = deg[deg > 0]
+    if len(deg) == 0:
+        return 0.0
+    k = max(2, int(np.sqrt(len(deg))))
+    k = min(k, len(deg))
+    top = np.sort(deg)[-k:][::-1].astype(np.float64)
+    return float(np.mean(np.log(top[0]) - np.log(top)))
+
+
+def density(graph: EdgeArray) -> float:
+    """Fraction of possible edges present: ``2E / (n·(n-1))``.
+
+    ``1.0`` for complete graphs, ``0.0`` for edgeless or trivial ones.
+    The second auto-pick coordinate: density bounds the expected
+    adjacency overlap, which sets merge's streaming advantage against
+    the probing kernels' O(short side) work.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
 @dataclass(frozen=True)
 class GraphSummary:
-    """Table-I-style one-line description of a graph."""
+    """Table-I-style one-line description of a graph.
+
+    ``degree_skew`` and ``density`` are the auto-pick coordinates
+    (cheap, degree-only); they default to ``0.0`` so summaries decoded
+    from older artifacts stay constructible.
+    """
 
     num_nodes: int
     num_edges: int
@@ -91,6 +138,8 @@ class GraphSummary:
     max_degree: int
     mean_degree: float
     triangles: int
+    degree_skew: float = 0.0
+    density: float = 0.0
 
     @classmethod
     def of(cls, graph: EdgeArray) -> "GraphSummary":
@@ -102,6 +151,8 @@ class GraphSummary:
             max_degree=int(deg.max()) if len(deg) else 0,
             mean_degree=float(deg.mean()) if len(deg) else 0.0,
             triangles=triangle_count_matmul(graph),
+            degree_skew=degree_skew(graph),
+            density=density(graph),
         )
 
 

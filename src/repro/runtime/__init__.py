@@ -19,9 +19,10 @@ from repro.runtime.launch import (PHASE_D2H, PHASE_FREE, PHASE_H2D,
                                   build_engine, dispatch_kernel, launch)
 from repro.runtime.pipeline import (PipelinedPlan, pipelined_cpu_preprocess,
                                     pipelined_launch)
-from repro.runtime.spec import (LOCAL, MERGE, WARP_INTERSECT, KernelSpec,
-                                get_kernel, kernel_names,
-                                kernel_option_field, register,
+from repro.runtime.spec import (BINARY_SEARCH, HASH, LOCAL, MERGE,
+                                WARP_INTERSECT, KernelSpec, get_kernel,
+                                kernel_names, kernel_option_field,
+                                kernel_option_fields, register,
                                 resolve_kernel, spec_for_options)
 from repro.runtime.stream import (DEFAULT_STREAM, StreamDep, StreamEvent,
                                   StreamTimeline)
@@ -29,7 +30,8 @@ from repro.runtime.stream import (DEFAULT_STREAM, StreamDep, StreamEvent,
 __all__ = [
     "KernelSpec", "register", "get_kernel", "kernel_names",
     "resolve_kernel", "spec_for_options", "kernel_option_field",
-    "MERGE", "WARP_INTERSECT", "LOCAL",
+    "kernel_option_fields",
+    "MERGE", "WARP_INTERSECT", "BINARY_SEARCH", "HASH", "LOCAL",
     "LaunchPlan", "KernelLaunch", "launch", "dispatch_kernel",
     "build_engine",
     "PipelinedPlan", "pipelined_launch", "pipelined_cpu_preprocess",

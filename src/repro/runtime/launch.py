@@ -83,13 +83,18 @@ def dispatch_kernel(kernel: KernelSpec | str, engine: SimtEngine,
                     options: GpuOptions = GpuOptions(), *,
                     lo: int = 0, hi: int | None = None,
                     result_buf: DeviceBuffer | None = None,
-                    per_vertex_buf: DeviceBuffer | None = None) -> KernelResult:
+                    per_vertex_buf: DeviceBuffer | None = None,
+                    memory: DeviceMemory | None = None) -> KernelResult:
     """Run one kernel body on an already-built engine (the inner step of
     :func:`launch`; the wall-clock bench times exactly this).
 
     Selects the body for ``options.engine`` via
     :meth:`KernelSpec.body_for` — an unknown engine string is a typed
     error naming the valid choices, never a silent fallback.
+
+    ``memory`` is the launch's allocator, forwarded to bodies whose
+    strategy builds device-resident tables (the ``hash`` kernel); those
+    bodies raise a typed error without it.
     """
     spec = resolve_kernel(kernel)
     body = spec.body_for(options.engine)
@@ -97,7 +102,8 @@ def dispatch_kernel(kernel: KernelSpec | str, engine: SimtEngine,
     t0 = perf_counter() if prof is not None else 0.0
     result: KernelResult = body(engine, pre, options, lo=lo, hi=hi,
                                 result_buf=result_buf,
-                                per_vertex_buf=per_vertex_buf)
+                                per_vertex_buf=per_vertex_buf,
+                                memory=memory)
     if prof is not None:
         prof.add(PHASE_KERNEL, perf_counter() - t0)
     return result
@@ -235,7 +241,8 @@ def launch(plan: LaunchPlan) -> KernelLaunch:
         kres = dispatch_kernel(spec, engine, pre, options,
                                lo=plan.lo, hi=plan.hi,
                                result_buf=result_buf,
-                               per_vertex_buf=per_vertex_buf)
+                               per_vertex_buf=per_vertex_buf,
+                               memory=memory)
         timing = time_kernel(engine.report)
         if plan.record_kernel_event:
             timeline.add(spec.display_name, timing.kernel_ms, phase="count")

@@ -1,18 +1,28 @@
 """``KernelSpec`` — the declarative contract every counting kernel meets.
 
 A kernel, to the runtime, is: a registry name, a display label for the
-simulated timeline, one host *body* per execution engine, and two
+simulated timeline, one host *body* per execution engine, two
 buffer-shape facts (does it need the SoA layout, does it accumulate a
-per-vertex array).  Everything else — device allocation, H2D/D2H
+per-vertex array), and the ``GpuOptions.kernel`` value that selects it
+in the pipelines.  Everything else — device allocation, H2D/D2H
 transfer events, engine construction, sanitizer wiring, hostprof
 phases, report/timeline assembly — is owned by
 :func:`repro.runtime.launch` and written exactly once.
 
 Kernel authors add a strategy by writing the body (a function of
-``(engine, pre, options, *, lo, hi, result_buf, per_vertex_buf)``) and
-registering a spec; every pipeline (single-GPU, local-counts,
-multi-GPU, serving, the wall-clock bench) can then launch it with no
-new harness code.  See ``docs/architecture.md``.
+``(engine, pre, options, *, lo, hi, result_buf, per_vertex_buf,
+memory)``) and registering a spec; every pipeline (single-GPU,
+local-counts, multi-GPU, serving, the wall-clock bench) can then
+launch it with no new harness code.  For thread-per-edge intersection
+kernels there is no new body to write at all: implement one
+:class:`~repro.core.intersect.IntersectionStrategy` and register a
+spec over the shared drivers (see the ``binary_search`` / ``hash``
+registrations below and ``docs/architecture.md``).
+
+The registry is also the **single source of truth for kernel names**:
+``GpuOptions`` validates its ``kernel`` field against the registered
+``option_field`` values (plus ``"auto"``), so registering a kernel is
+one spec — not a spec plus an options-module edit.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ import numpy as np
 from repro.core.options import GpuOptions
 from repro.core.preprocess import PreprocessResult
 from repro.errors import ReproError
-from repro.gpusim.memory import DeviceBuffer
+from repro.gpusim.memory import DeviceBuffer, DeviceMemory
 from repro.gpusim.simt import SimtEngine
 
 
@@ -65,6 +75,11 @@ class KernelSpec:
         The body accumulates per-vertex corner counts; ``launch()``
         allocates the ``num_nodes``-long accumulator before
         preprocessing and reads it back after the reduce.
+    option_field : str | None
+        The ``GpuOptions.kernel`` value that selects this spec in the
+        pipelines (``None`` for specs selected by an entry point
+        instead, like the per-vertex ``local`` kernel).  These values —
+        plus ``"auto"`` — are the legal ``GpuOptions.kernel`` choices.
     """
 
     name: str
@@ -72,6 +87,7 @@ class KernelSpec:
     bodies: Mapping[str, KernelBody] = field(repr=False)
     requires_soa: bool = False
     per_vertex: bool = False
+    option_field: str | None = None
 
     def body_for(self, engine: str) -> KernelBody:
         """The host body for ``engine``, or a typed error naming the
@@ -92,6 +108,12 @@ def register(spec: KernelSpec) -> KernelSpec:
     existing = _REGISTRY.get(spec.name)
     if existing is not None and existing is not spec:
         raise ReproError(f"kernel {spec.name!r} is already registered")
+    for other in _REGISTRY.values():
+        if (spec.option_field is not None and other is not spec
+                and other.option_field == spec.option_field):
+            raise ReproError(
+                f"kernel {spec.name!r} claims GpuOptions.kernel="
+                f"{spec.option_field!r}, already taken by {other.name!r}")
     _REGISTRY[spec.name] = spec
     return spec
 
@@ -99,6 +121,16 @@ def register(spec: KernelSpec) -> KernelSpec:
 def kernel_names() -> tuple[str, ...]:
     """Registered kernel names, sorted (CLI choices)."""
     return tuple(sorted(_REGISTRY))
+
+
+def kernel_option_fields() -> tuple[str, ...]:
+    """Every ``GpuOptions.kernel`` value with a registered spec, sorted.
+
+    This — plus ``"auto"`` — is what ``GpuOptions`` validates against:
+    the registry is the single source of truth for kernel names.
+    """
+    return tuple(sorted(spec.option_field for spec in _REGISTRY.values()
+                        if spec.option_field is not None))
 
 
 def get_kernel(name: str) -> KernelSpec:
@@ -126,54 +158,76 @@ def kernel_option_field(name: str) -> str:
     error rather than a silent wrong answer.
     """
     spec = get_kernel(name)
-    if spec.per_vertex:
+    if spec.option_field is None:
         raise ReproError(
             f"kernel {name!r} is selected by the local-counts pipeline, "
             f"not GpuOptions.kernel; sweepable kernels: "
-            f"{tuple(n for n in kernel_names() if not get_kernel(n).per_vertex)}")
-    return "warp_intersect" if spec.name == "warp_intersect" else "two_pointer"
+            f"{tuple(n for n in kernel_names() if get_kernel(n).option_field is not None)}")
+    return spec.option_field
 
 
 def spec_for_options(options: GpuOptions, per_vertex: bool = False) -> KernelSpec:
     """Map ``GpuOptions.kernel`` to its registered spec.
 
     ``per_vertex=True`` selects the local-counts variant (the merge
-    kernel with the ``atomicAdd``-per-corner extension); the
-    warp-intersect kernel has no such path.
+    kernel with the ``atomicAdd``-per-corner extension); the other
+    kernels have no such path.  ``kernel="auto"`` must be resolved
+    against a graph before reaching the registry — pipelines that see
+    the graph (:func:`repro.core.forward_gpu.gpu_count_triangles`) do
+    this via :func:`repro.core.autopick.resolve_options`.
     """
     if per_vertex:
         return get_kernel("local")
-    if options.kernel == "warp_intersect":
-        return get_kernel("warp_intersect")
-    return get_kernel("merge")
+    if options.kernel == "auto":
+        raise ReproError(
+            "GpuOptions.kernel='auto' must be resolved against a graph "
+            "before launch (repro.core.autopick.resolve_options); "
+            "graph-level pipelines do this automatically")
+    for spec in _REGISTRY.values():
+        if spec.option_field == options.kernel:
+            return spec
+    raise ReproError(
+        f"no registered kernel for GpuOptions.kernel={options.kernel!r}; "
+        f"valid: {kernel_option_fields() + ('auto',)}")
 
 
-def _merge_lockstep(engine: SimtEngine, pre: PreprocessResult,
-                    options: GpuOptions, *, lo: int = 0, hi: int | None = None,
-                    result_buf: DeviceBuffer | None = None,
-                    per_vertex_buf: DeviceBuffer | None = None) -> KernelResult:
-    from repro.core.count_kernel import count_triangles_lockstep
+def _count_body(engine_name: str, option_field: str) -> KernelBody:
+    """A thread-per-edge driver body bound to one engine + one strategy.
 
-    return count_triangles_lockstep(engine, pre, options, lo=lo, hi=hi,
-                                    result_buf=result_buf,
-                                    per_vertex_buf=per_vertex_buf)
+    The drivers resolve the strategy from ``options.kernel``; the bound
+    check here turns a spec/options mismatch (e.g. dispatching the
+    ``binary_search`` spec with merge options) into a typed error
+    instead of silently running the wrong algorithm.
+    """
 
+    def body(engine: SimtEngine, pre: PreprocessResult,
+             options: GpuOptions, *, lo: int = 0, hi: int | None = None,
+             result_buf: DeviceBuffer | None = None,
+             per_vertex_buf: DeviceBuffer | None = None,
+             memory: DeviceMemory | None = None) -> KernelResult:
+        if options.kernel != option_field:
+            raise ReproError(
+                f"this kernel spec runs GpuOptions.kernel="
+                f"{option_field!r}, got {options.kernel!r} — dispatch "
+                "through spec_for_options or fix the options")
+        if engine_name == "lockstep":
+            from repro.core.count_kernel import count_triangles_lockstep
+            fn = count_triangles_lockstep
+        else:
+            from repro.core.count_kernel_compacted import \
+                count_triangles_compacted
+            fn = count_triangles_compacted
+        return fn(engine, pre, options, lo=lo, hi=hi, result_buf=result_buf,
+                  per_vertex_buf=per_vertex_buf, memory=memory)
 
-def _merge_compacted(engine: SimtEngine, pre: PreprocessResult,
-                     options: GpuOptions, *, lo: int = 0, hi: int | None = None,
-                     result_buf: DeviceBuffer | None = None,
-                     per_vertex_buf: DeviceBuffer | None = None) -> KernelResult:
-    from repro.core.count_kernel_compacted import count_triangles_compacted
-
-    return count_triangles_compacted(engine, pre, options, lo=lo, hi=hi,
-                                     result_buf=result_buf,
-                                     per_vertex_buf=per_vertex_buf)
+    return body
 
 
 def _warp_intersect(engine: SimtEngine, pre: PreprocessResult,
                     options: GpuOptions, *, lo: int = 0, hi: int | None = None,
                     result_buf: DeviceBuffer | None = None,
-                    per_vertex_buf: DeviceBuffer | None = None) -> KernelResult:
+                    per_vertex_buf: DeviceBuffer | None = None,
+                    memory: DeviceMemory | None = None) -> KernelResult:
     from repro.core.warp_intersect_kernel import warp_intersect_kernel
 
     if per_vertex_buf is not None:
@@ -188,17 +242,36 @@ def _warp_intersect(engine: SimtEngine, pre: PreprocessResult,
 #: The paper's thread-per-edge two-pointer merge (Section III-C).
 MERGE = register(KernelSpec(
     name="merge", display_name="CountTriangles",
-    bodies={"lockstep": _merge_lockstep, "compacted": _merge_compacted}))
+    bodies={"lockstep": _count_body("lockstep", "two_pointer"),
+            "compacted": _count_body("compacted", "two_pointer")},
+    option_field="two_pointer"))
 
 #: The Green et al. warp-per-edge comparator (Section V).
 WARP_INTERSECT = register(KernelSpec(
     name="warp_intersect", display_name="WarpIntersect",
     bodies={"lockstep": _warp_intersect, "compacted": _warp_intersect},
-    requires_soa=True))
+    requires_soa=True, option_field="warp_intersect"))
+
+#: Binary-search intersection: log-probes of the longer list
+#: (Wang/Owens comparative study; shared drivers, new strategy).
+BINARY_SEARCH = register(KernelSpec(
+    name="binary_search", display_name="BinarySearchIntersect",
+    bodies={"lockstep": _count_body("lockstep", "binary_search"),
+            "compacted": _count_body("compacted", "binary_search")},
+    option_field="binary_search"))
+
+#: Hash intersection: TRUST-style per-vertex bucket tables built on
+#: device per launch, probed O(1) expected per candidate.
+HASH = register(KernelSpec(
+    name="hash", display_name="HashIntersect",
+    bodies={"lockstep": _count_body("lockstep", "hash"),
+            "compacted": _count_body("compacted", "hash")},
+    option_field="hash"))
 
 #: The merge kernel with one ``atomicAdd`` per triangle corner — exact
 #: local counts for the clustering-coefficient application.
 LOCAL = register(KernelSpec(
     name="local", display_name="CountTriangles+local",
-    bodies={"lockstep": _merge_lockstep, "compacted": _merge_compacted},
+    bodies={"lockstep": _count_body("lockstep", "two_pointer"),
+            "compacted": _count_body("compacted", "two_pointer")},
     per_vertex=True))

@@ -1,9 +1,10 @@
 """The clean-kernel sanitize matrix (``repro-bench sanitize``).
 
 Runs every kernel configuration — both engines x both merge variants of
-the two-pointer kernel, both engines of the warp-intersect comparator,
-plus the atomicAdd-heavy local-counts pipeline — on small skewed graphs
-with all three checkers armed, and asserts two things per cell:
+the two-pointer kernel, both engines of the binary-search and hash
+intersection strategies and of the warp-intersect comparator, plus the
+atomicAdd-heavy local-counts pipeline — on small skewed graphs with all
+three checkers armed, and asserts two things per cell:
 
 * **zero findings** — the shipped kernels are memcheck/initcheck/
   racecheck-clean (any finding is a kernel bug or a checker false
@@ -11,6 +12,11 @@ with all three checkers armed, and asserts two things per cell:
 * **identity** — triangles and every :class:`KernelReport` counter are
   bit-identical to a sanitize-off run of the same cell (the sanitizer
   observes, never perturbs).
+
+Across cells the matrix also asserts **cross-kernel agreement**: every
+counting configuration of a graph reports the same triangle total
+(every registered intersection strategy is exact; a disagreement is a
+kernel bug even if each cell is individually clean).
 
 ``--strict`` runs the sanitized leg in strict mode, so a finding
 surfaces as the typed :mod:`repro.errors` exception path (the mode CI
@@ -36,13 +42,15 @@ _GRAPHS = (
     ("rmat8", lambda seed: rmat(8, 10.0, seed=seed)),
 )
 
-#: (kernel, merge_variant, engine) cells.  merge_variant is meaningless
-#: for warp_intersect (the knob does not apply), so it stays "final".
+#: (kernel, merge_variant, engine) cells.  merge_variant only applies
+#: to the two-pointer merge strategy; the probing strategies
+#: (binary_search, hash) and the warp comparator keep "final".
 _CONFIGS = tuple(
     [("two_pointer", mv, eng)
      for mv in ("final", "preliminary")
      for eng in ("lockstep", "compacted")]
-    + [("warp_intersect", "final", eng)
+    + [(kernel, "final", eng)
+       for kernel in ("binary_search", "hash", "warp_intersect")
        for eng in ("lockstep", "compacted")]
 )
 
@@ -87,11 +95,25 @@ class SanitizeMatrixReport:
 
     @property
     def ok(self) -> bool:
-        return all(c.ok for c in self.cells)
+        return (all(c.ok for c in self.cells)
+                and not self.cross_kernel_disagreements)
 
     @property
     def findings(self) -> int:
         return sum(c.findings for c in self.cells)
+
+    @property
+    def cross_kernel_disagreements(self) -> list:
+        """Graphs where the counting cells did not all report the same
+        triangle count — every registered strategy is exact, so any
+        disagreement is a kernel bug the matrix must surface even when
+        each cell is individually sanitizer-clean."""
+        by_graph: dict[str, set] = {}
+        for c in self.cells:
+            if c.pipeline == "count":
+                by_graph.setdefault(c.graph, set()).add(c.triangles)
+        return [f"{g}: kernels disagree on triangles {sorted(seen)}"
+                for g, seen in sorted(by_graph.items()) if len(seen) > 1]
 
     def format_report(self) -> str:
         lines = [f"==SANITIZE== kernel matrix mode={self.mode} "
@@ -99,6 +121,8 @@ class SanitizeMatrixReport:
                  f"ok={self.ok}"]
         for cell in self.cells:
             lines.append("  " + cell.summary())
+        for problem in self.cross_kernel_disagreements:
+            lines.append("  cross-kernel: " + problem)
         return "\n".join(lines) + "\n"
 
 

@@ -30,16 +30,23 @@ from repro.core.options import ENGINES, GpuOptions
 from repro.errors import SweepConfigError
 from repro.gpusim.device import DEVICES, DeviceSpec
 from repro.gpusim.simt import LaunchConfig
-from repro.runtime import kernel_option_field
+from repro.runtime import get_kernel, kernel_names, kernel_option_field
 
 #: Formats this loader understands (mirrors repro.bench.autotune —
 #: tuned.json is the only thing that crosses the serve/bench boundary,
 #: as data; serve/ never imports bench/).
 _TUNED_FORMATS = ("repro-tuned/v1",)
-#: Kernels a tuned entry may select (the non-per-vertex registry names;
-#: the registry-name -> GpuOptions.kernel mapping itself lives below
-#: both layers, in repro.runtime.kernel_option_field).
-_TUNABLE_KERNELS = ("merge", "warp_intersect")
+
+
+def _tunable_kernels() -> tuple[str, ...]:
+    """Kernels a tuned entry may select: every non-per-vertex registry
+    name (the registry is the single source of truth — a newly
+    registered kernel is tunable with no serve-side edit), plus
+    ``"auto"`` (per-graph pick by :mod:`repro.core.autopick` at run
+    time)."""
+    names = tuple(n for n in kernel_names()
+                  if get_kernel(n).option_field is not None)
+    return names + ("auto",)
 
 
 @dataclass(frozen=True)
@@ -47,15 +54,22 @@ class TunedEntry:
     """One device's winning configuration."""
 
     device: str
-    kernel: str                 # registry name ("merge" / "warp_intersect")
+    kernel: str                 # registry name ("merge", ...) or "auto"
     engine: str
     threads_per_block: int
     blocks_per_sm: int
 
     def apply(self, base: GpuOptions) -> GpuOptions:
-        """``base`` with this entry's launch/kernel/engine substituted."""
+        """``base`` with this entry's launch/kernel/engine substituted.
+
+        ``kernel="auto"`` is an options value, not a registry name — it
+        passes through directly and resolves per graph inside
+        ``gpu_count_triangles`` when the scheduler launches the job.
+        """
+        kernel = ("auto" if self.kernel == "auto"
+                  else kernel_option_field(self.kernel))
         return base.but(
-            kernel=kernel_option_field(self.kernel),
+            kernel=kernel,
             engine=self.engine,
             launch=LaunchConfig(self.threads_per_block, self.blocks_per_sm))
 
@@ -65,10 +79,11 @@ def _entry_from(device: str, table: dict) -> TunedEntry:
     if not isinstance(table, dict):
         raise SweepConfigError(prefix, f"expected a table, got {table!r}")
     kernel = table.get("kernel", "merge")
-    if kernel not in _TUNABLE_KERNELS:
+    tunable = _tunable_kernels()
+    if kernel not in tunable:
         raise SweepConfigError(
             f"{prefix}.kernel", f"unknown kernel {kernel!r} "
-                                f"(valid: {', '.join(_TUNABLE_KERNELS)})")
+                                f"(valid: {', '.join(tunable)})")
     engine = table.get("engine", "compacted")
     if engine not in ENGINES:
         raise SweepConfigError(

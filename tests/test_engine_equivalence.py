@@ -53,7 +53,8 @@ def _run_both(graph, options_of, device=GTX_980, per_vertex=False,
             pv.data[:] = 0
         if kernel == "count":
             res = count_triangles_kernel(engine, pre, options,
-                                         lo=lo, hi=hi, per_vertex_buf=pv)
+                                         lo=lo, hi=hi, per_vertex_buf=pv,
+                                         memory=memory)
             observed = (res.triangles, res.ticks,
                         res.thread_counts.tolist())
         else:
@@ -124,6 +125,31 @@ class TestOptionMatrix:
                           lambda e: GpuOptions(engine=e),
                           kernel="warp_intersect")
 
+    @pytest.mark.parametrize("kernel", ["binary_search", "hash"])
+    @pytest.mark.parametrize("unzip", [True, False])
+    def test_strategy_layout_matrix(self, small_rmat, kernel, unzip):
+        """The probing strategies: both engines bit-identical on both
+        layouts (same contract the merge strategy is pinned to)."""
+        _assert_identical(
+            small_rmat,
+            lambda e: GpuOptions(engine=e, kernel=kernel, unzip=unzip))
+
+    @pytest.mark.parametrize("kernel", ["binary_search", "hash"])
+    def test_strategy_arc_subrange(self, small_ba, kernel):
+        m = small_ba.num_arcs // 2
+        _assert_identical(small_ba,
+                          lambda e: GpuOptions(engine=e, kernel=kernel),
+                          lo=3, hi=m)
+
+    @pytest.mark.parametrize("kernel", ["binary_search", "hash"])
+    def test_strategy_counts_match_merge(self, small_rmat, kernel):
+        """Every strategy is exact: counts equal the merge kernel's."""
+        (merge_obs, _, _), _ = _run_both(
+            small_rmat, lambda e: GpuOptions(engine=e))
+        (obs, _, _), _ = _run_both(
+            small_rmat, lambda e: GpuOptions(engine=e, kernel=kernel))
+        assert obs[0] == merge_obs[0]
+
 
 class TestDispatcherGolden:
     """The runtime dispatcher (`repro.runtime.launch`) pinned to
@@ -138,10 +164,10 @@ class TestDispatcherGolden:
 
     @staticmethod
     def _cell(graph, kernel: str, unzip: bool, engine: str) -> dict:
-        opts = GpuOptions(
-            engine=engine, unzip=unzip,
-            kernel="warp_intersect" if kernel == "warp_intersect"
-            else "two_pointer")
+        field = {"warp_intersect": "warp_intersect",
+                 "local": "two_pointer",
+                 "merge": "two_pointer"}.get(kernel, kernel)
+        opts = GpuOptions(engine=engine, unzip=unzip, kernel=field)
         run = launch(LaunchPlan(kernel=kernel, graph=graph,
                                 device=GTX_980, options=opts))
         cell = {
@@ -158,6 +184,10 @@ class TestDispatcherGolden:
         ("warp_intersect", "soa"),
         ("local", "soa"),
         ("local", "aos"),
+        ("binary_search", "soa"),
+        ("binary_search", "aos"),
+        ("hash", "soa"),
+        ("hash", "aos"),
     ])
     def test_pinned_counters(self, small_rmat, kernel, layout, engine):
         golden = json.loads(GOLDEN_PATH.read_text())
@@ -204,6 +234,25 @@ class TestHypothesis:
                               simulated_warp_size=wsz)
         _assert_identical(graph,
                           lambda e: GpuOptions(engine=e, launch=launch))
+
+    @settings(max_examples=20, deadline=None)
+    @given(nodes=st.integers(6, 50),
+           attach=st.integers(1, 5),
+           seed=st.integers(0, 2**16),
+           kernel=st.sampled_from(["binary_search", "hash"]),
+           unzip=st.booleans())
+    def test_random_graphs_probing_strategies(self, nodes, attach, seed,
+                                              kernel, unzip):
+        """The probing strategies across random graphs x layouts: both
+        engines bit-identical AND counts equal to the merge oracle."""
+        graph = barabasi_albert(nodes, min(attach, nodes - 1), seed=seed)
+        (lock, counters, _), compacted = _run_both(
+            graph, lambda e: GpuOptions(engine=e, kernel=kernel,
+                                        unzip=unzip))
+        assert compacted == (lock, counters, None)
+        (merge_obs, _, _), _ = _run_both(
+            graph, lambda e: GpuOptions(engine=e, unzip=unzip))
+        assert lock[0] == merge_obs[0]
 
     @settings(max_examples=10, deadline=None)
     @given(edges=st.lists(

@@ -106,3 +106,18 @@ class TestKernelSelection:
             g, options=GpuOptions(kernel="warp_intersect"))
         assert warp.triangles == merge.triangles
         assert any("WarpIntersect" in e.name for e in warp.timeline.events)
+
+    def test_registered_strategies_are_valid_choices(self):
+        for kernel in ("binary_search", "hash", "auto"):
+            assert GpuOptions(kernel=kernel).kernel == kernel
+
+    def test_kernels_attr_derives_from_registry(self):
+        from repro.core import options as options_mod
+        from repro.runtime import kernel_option_fields
+        assert options_mod.KERNELS == kernel_option_fields() + ("auto",)
+        assert {"two_pointer", "binary_search", "hash",
+                "warp_intersect", "auto"} <= set(options_mod.KERNELS)
+
+    def test_invalid_kernel_error_lists_registry_choices(self):
+        with pytest.raises(ReproError, match="binary_search"):
+            GpuOptions(kernel="magic")

@@ -227,6 +227,36 @@ class TestTunedRoundTrip:
         for device in tuned.entries:
             assert device in DEVICES
 
+    def test_tunable_kernels_track_the_registry(self):
+        """A tuned entry may name any non-per-vertex registry kernel —
+        including the probing strategies — or "auto"."""
+        from repro.serve.tuned import _tunable_kernels
+        tunable = _tunable_kernels()
+        assert {"merge", "binary_search", "hash",
+                "warp_intersect", "auto"} <= set(tunable)
+        assert "local" not in tunable   # per-vertex pipeline, not serve
+
+    def test_auto_entry_passes_through_to_options(self):
+        from repro.core.options import GpuOptions
+        tuned = TunedConfigs.from_doc({
+            "format": "repro-tuned/v1", "devices": {
+                "gtx980": {"kernel": "auto", "engine": "compacted",
+                           "threads_per_block": 64, "blocks_per_sm": 8}}})
+        entry = tuned.entry_for(GTX_980)
+        applied = entry.apply(GpuOptions())
+        assert applied.kernel == "auto"
+
+    def test_strategy_entry_maps_to_option_field(self):
+        from repro.core.options import GpuOptions
+        tuned = TunedConfigs.from_doc({
+            "format": "repro-tuned/v1", "devices": {
+                "gtx980": {"kernel": "binary_search",
+                           "engine": "lockstep",
+                           "threads_per_block": 64, "blocks_per_sm": 8}}})
+        applied = tuned.entry_for(GTX_980).apply(GpuOptions())
+        assert applied.kernel == "binary_search"
+        assert applied.engine == "lockstep"
+
 
 class TestCli:
     def test_unknown_subcommand_lists_commands(self, capsys):

@@ -44,7 +44,8 @@ class _FakeOptions:
 
 class TestRegistry:
     def test_builtin_kernels_registered(self):
-        assert kernel_names() == ("local", "merge", "warp_intersect")
+        assert kernel_names() == ("binary_search", "hash", "local", "merge",
+                                  "warp_intersect")
 
     def test_get_kernel_unknown_names_choices(self):
         with pytest.raises(ReproError, match="registered.*merge"):

@@ -291,12 +291,15 @@ class TestCleanKernels:
         bad = [c.summary() for c in report.cells if not c.ok]
         assert report.ok, bad
         assert report.findings == 0
-        # Full coverage: both engines x both merge variants x both
-        # kernels on two graphs, plus the atomic-heavy local pipeline.
-        assert len(report.cells) == 14
+        # Full coverage: both engines x both merge variants of the
+        # two-pointer kernel x the probing strategies and the warp
+        # comparator on two graphs, plus the atomic-heavy local
+        # pipeline.
+        assert len(report.cells) == 22
         assert {c.engine for c in report.cells} == {"lockstep", "compacted"}
-        assert {c.kernel for c in report.cells} == {"two_pointer",
-                                                    "warp_intersect"}
+        assert {c.kernel for c in report.cells} == {
+            "two_pointer", "binary_search", "hash", "warp_intersect"}
+        assert report.cross_kernel_disagreements == []
 
     def test_identity_on_pipeline(self, small_ba):
         base = gpu_count_triangles(small_ba)

@@ -90,3 +90,68 @@ class TestSummary:
         hist = stats.degree_histogram(star20)
         assert hist[1] == 19
         assert hist[19] == 1
+
+    def test_autopick_coordinates_populated(self, k5):
+        s = stats.GraphSummary.of(k5)
+        assert s.degree_skew == 0.0
+        assert s.density == 1.0
+
+    def test_defaults_keep_old_payloads_constructible(self):
+        # Summaries decoded from pre-autopick artifacts lack the new
+        # fields; the defaults keep them loadable.
+        s = stats.GraphSummary(num_nodes=1, num_edges=0, num_arcs=0,
+                               max_degree=0, mean_degree=0.0, triangles=0)
+        assert s.degree_skew == 0.0 and s.density == 0.0
+
+
+class TestAutopickCoordinates:
+    """degree_skew and density across generator families — the
+    separation the kernel auto-pick relies on."""
+
+    def test_regular_graphs_have_zero_skew(self):
+        from repro.graphs.generators import watts_strogatz
+        assert stats.degree_skew(complete_graph(12)) == 0.0
+        assert stats.degree_skew(cycle_graph(30)) == 0.0
+        # unrewired WS is a ring lattice: everyone degree k
+        assert stats.degree_skew(watts_strogatz(100, 8, 0.0, seed=1)) == 0.0
+
+    def test_heavy_tails_score_above_flat_families(self):
+        from repro.graphs.generators import (barabasi_albert,
+                                             erdos_renyi_gnm, rmat,
+                                             watts_strogatz)
+        ba = stats.degree_skew(barabasi_albert(500, 6, seed=3))
+        rm = stats.degree_skew(rmat(9, 8.0, seed=3))
+        gnm = stats.degree_skew(erdos_renyi_gnm(500, 3000, seed=3))
+        ws = stats.degree_skew(watts_strogatz(500, 12, 0.05, seed=3))
+        assert ba > gnm > 0.0
+        assert rm > gnm
+        assert ba > ws
+        assert rm > ws
+
+    def test_star_is_maximally_skewed(self):
+        # hub degree n-1 against leaf degree 1: skew ~ mean ln(n-1)
+        n = 64
+        skew = stats.degree_skew(star_graph(n))
+        assert skew > stats.degree_skew(complete_graph(n))
+        assert skew > 1.0
+
+    def test_isolated_vertices_do_not_dilute(self):
+        base = EdgeArray.from_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+        padded = EdgeArray(base.first, base.second,
+                           num_nodes=base.num_nodes + 50)
+        assert stats.degree_skew(padded) == stats.degree_skew(base)
+
+    def test_skew_degenerate_graphs(self):
+        assert stats.degree_skew(EdgeArray.empty(0)) == 0.0
+        assert stats.degree_skew(EdgeArray.empty(7)) == 0.0
+        assert stats.degree_skew(EdgeArray.from_edges([(0, 1)])) == 0.0
+
+    def test_density_bounds_and_families(self):
+        from repro.graphs.generators import erdos_renyi_gnm
+        assert stats.density(complete_graph(10)) == 1.0
+        assert stats.density(EdgeArray.empty(10)) == 0.0
+        assert stats.density(EdgeArray.empty(0)) == 0.0
+        assert stats.density(EdgeArray.empty(1)) == 0.0
+        g = erdos_renyi_gnm(100, 990, seed=2)
+        assert stats.density(g) == pytest.approx(2 * g.num_edges
+                                                 / (100 * 99))
